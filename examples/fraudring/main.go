@@ -1,0 +1,118 @@
+// Fraudring: the paper's motivating FIU (financial intelligence unit)
+// scenario — find accounts that cycle significant money back to themselves
+// through intermediaries, the Section 5.3 relaxed laundering pattern.
+//
+// The example generates a Bitcoin-shaped transaction network, precomputes
+// the cycle path tables once, ranks anchors by their aggregated round-trip
+// flow (RP2 + disjoint RP3), and then dumps the concrete rings of the top
+// suspect with per-ring maximum flows.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	flownet "flownet"
+)
+
+func main() {
+	n := flownet.GenerateBitcoin(flownet.DatasetConfig{Vertices: 2500, Seed: 7})
+	fmt.Printf("transaction network: %d accounts, %d edges, %d transfers\n",
+		n.NumVertices(), n.NumEdges(), n.NumInteractions())
+
+	// One-off precomputation of all 2-hop and 3-hop cycles with their
+	// greedy (= maximum, by Lemma 1) flows.
+	tables := flownet.Precompute(n, false)
+	fmt.Printf("precomputed %d two-hop and %d three-hop cycles\n\n",
+		len(tables.L2.Rows), len(tables.L3.Rows))
+
+	// Aggregate round-trip flow per anchor: money that left the account
+	// and came back through 1 or 2 intermediaries.
+	type suspect struct {
+		account flownet.VertexID
+		flow    float64
+		rings   int
+	}
+	agg := map[flownet.VertexID]*suspect{}
+	bump := func(a flownet.VertexID, f float64) {
+		s := agg[a]
+		if s == nil {
+			s = &suspect{account: a}
+			agg[a] = s
+		}
+		s.flow += f
+		s.rings++
+	}
+	tables.L2.Anchors(func(a flownet.VertexID, rows []flownet.PathRow) {
+		for i := range rows {
+			bump(a, rows[i].Flow)
+		}
+	})
+	tables.L3.Anchors(func(a flownet.VertexID, rows []flownet.PathRow) {
+		used := map[flownet.VertexID]bool{}
+		for i := range rows {
+			b, c := rows[i].Verts[1], rows[i].Verts[2]
+			if used[b] || used[c] {
+				continue // paper's RP3: intermediaries must be disjoint
+			}
+			used[b], used[c] = true, true
+			bump(a, rows[i].Flow)
+		}
+	})
+
+	suspects := make([]*suspect, 0, len(agg))
+	for _, s := range agg {
+		suspects = append(suspects, s)
+	}
+	sort.Slice(suspects, func(i, j int) bool {
+		if suspects[i].flow != suspects[j].flow {
+			return suspects[i].flow > suspects[j].flow
+		}
+		return suspects[i].account < suspects[j].account
+	})
+
+	fmt.Println("top accounts by round-trip flow (relaxed patterns RP2+RP3):")
+	fmt.Printf("%-10s %14s %8s\n", "account", "return flow", "#rings")
+	top := suspects
+	if len(top) > 8 {
+		top = top[:8]
+	}
+	for _, s := range top {
+		fmt.Printf("%-10d %14.2f %8d\n", s.account, s.flow, s.rings)
+	}
+	if len(suspects) == 0 {
+		return
+	}
+
+	// Drill into the top suspect: list its individual 2-hop rings with the
+	// exact maximum flow of each (rigid pattern P2 instances).
+	chief := suspects[0].account
+	fmt.Printf("\nrings of account %d (pattern a→x→a):\n", chief)
+	shown := 0
+	for _, row := range tables.L2.RowsFor(chief) {
+		fmt.Printf("  %d → %d → %d   flow %.2f", chief, row.Verts[1], chief, row.Flow)
+		if len(row.Arr) > 0 {
+			fmt.Printf("   (last return at t=%.0f)", row.Arr[len(row.Arr)-1].Time)
+		}
+		fmt.Println()
+		shown++
+		if shown == 10 {
+			fmt.Println("  ...")
+			break
+		}
+	}
+
+	// Cross-check one ring against the full pipeline through the rigid P2
+	// pattern machinery.
+	if rows := tables.L2.RowsFor(chief); len(rows) > 0 {
+		inst := &flownet.Instance{
+			V:       []flownet.VertexID{chief, rows[0].Verts[1]},
+			EdgeIDs: rows[0].Edges,
+		}
+		f, err := flownet.InstanceFlow(n, flownet.P2, inst, flownet.EngineLP)
+		if err == nil {
+			fmt.Printf("\npipeline cross-check of first ring: %.2f (precomputed %.2f)\n",
+				f, rows[0].Flow)
+		}
+	}
+}

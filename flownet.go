@@ -1,0 +1,234 @@
+// Package flownet computes flow in temporal interaction networks. It is a
+// Go implementation of Kosyfaki, Mamoulis, Pitoura and Tsaparas, "Flow
+// Computation in Temporal Interaction Networks" (ICDE 2021).
+//
+// A temporal interaction network is a directed graph whose edges carry
+// timestamped transfers (t, q) — money, packets, messages — and the central
+// question is how much quantity can move from a source vertex to a sink
+// vertex when every vertex buffers what it receives and can only forward
+// quantity that arrived earlier.
+//
+// # Flow computation
+//
+// Build a flow instance with NewGraph (or extract one from a Network) and
+// solve it:
+//
+//	g := flownet.NewGraph(4, 0, 3)
+//	e := g.AddEdge(0, 1)
+//	g.AddInteraction(e, 1.0, 5.0) // at time 1, 5 units move 0 -> 1
+//	...
+//	g.Finalize()
+//	greedy := flownet.Greedy(g)        // single-scan greedy flow (Def. 5)
+//	max, _ := flownet.MaxFlow(g)       // maximum flow (PreSim pipeline)
+//
+// Greedy is linear in the interaction count but only a lower bound in
+// general; it is exact when GreedySoluble reports true (Lemma 2). MaxFlow
+// runs the paper's complete PreSim pipeline: a solubility test, the
+// Algorithm 1 preprocessing, the Algorithm 2 chain simplification, and —
+// only if still necessary — an exact solver (LP by default; the
+// time-expanded Dinic reduction via Pre/PreSim with EngineTEG).
+//
+// # Pattern search
+//
+// Whole networks are represented by Network; the instances of small DAG
+// patterns (cyclic transactions, laundering "flowers", relaxed multi-path
+// patterns) and their flows are enumerated with SearchGB (graph browsing)
+// or, after Precompute, the much faster SearchPB.
+//
+// # Reproduction
+//
+// cmd/repro regenerates every table and figure of the paper's evaluation on
+// synthetic datasets shaped after the originals; see DESIGN.md and
+// EXPERIMENTS.md.
+package flownet
+
+import (
+	"flownet/internal/core"
+	"flownet/internal/datagen"
+	"flownet/internal/pattern"
+	"flownet/internal/teg"
+	"flownet/internal/tin"
+)
+
+// Core data types (see package tin for full documentation).
+type (
+	// Network is a whole temporal interaction network.
+	Network = tin.Network
+	// Graph is a flow-computation instance with designated source and sink.
+	Graph = tin.Graph
+	// Interaction is a timestamped transfer (t, q).
+	Interaction = tin.Interaction
+	// Edge is a directed edge with its interaction sequence.
+	Edge = tin.Edge
+	// VertexID identifies a vertex.
+	VertexID = tin.VertexID
+	// EdgeID identifies an edge.
+	EdgeID = tin.EdgeID
+	// ExtractOptions controls seed-based subgraph extraction (Section 6.2).
+	ExtractOptions = tin.ExtractOptions
+)
+
+// Flow computation types (see internal/core).
+type (
+	// Engine selects the exact max-flow solver (EngineLP or EngineTEG).
+	Engine = core.Engine
+	// Class is the difficulty class a pipeline assigned (A, B or C).
+	Class = core.Class
+	// Result is a pipeline outcome: flow, class, and reduction statistics.
+	Result = core.Result
+	// PreprocessStats reports what Algorithm 1 removed.
+	PreprocessStats = core.PreprocessStats
+	// SimplifyStats reports what Algorithm 2 reduced.
+	SimplifyStats = core.SimplifyStats
+)
+
+// Engine and class constants.
+const (
+	EngineLP  = core.EngineLP
+	EngineTEG = core.EngineTEG
+	ClassA    = core.ClassA
+	ClassB    = core.ClassB
+	ClassC    = core.ClassC
+)
+
+// Pattern search types (see internal/pattern).
+type (
+	// Pattern is a network pattern (rigid DAG or relaxed multi-path).
+	Pattern = pattern.Pattern
+	// Instance is one match of a rigid pattern.
+	Instance = pattern.Instance
+	// PatternOptions controls a pattern search.
+	PatternOptions = pattern.Options
+	// PatternSummary aggregates a pattern search.
+	PatternSummary = pattern.Summary
+	// Tables bundles precomputed path tables for SearchPB.
+	Tables = pattern.Tables
+	// PathTable is one precomputed path table (2-/3-hop cycles or chains).
+	PathTable = pattern.Table
+	// PathRow is one precomputed path with its flow and arrival sequence.
+	PathRow = pattern.Row
+)
+
+// The pattern catalogue of the paper's Figure 12.
+var (
+	P1  = pattern.P1
+	P2  = pattern.P2
+	P3  = pattern.P3
+	P4  = pattern.P4
+	P5  = pattern.P5
+	P6  = pattern.P6
+	RP1 = pattern.RP1
+	RP2 = pattern.RP2
+	RP3 = pattern.RP3
+	// PatternCatalogue lists all of the above.
+	PatternCatalogue = pattern.Catalogue
+)
+
+// Pattern kinds (rigid vs the relaxed multi-path kinds of Section 5.3).
+const (
+	KindRigid          = pattern.KindRigid
+	KindRelaxedChains  = pattern.KindRelaxedChains
+	KindRelaxed2Cycles = pattern.KindRelaxed2Cycles
+	KindRelaxed3Cycles = pattern.KindRelaxed3Cycles
+)
+
+// PatternCatalogueByName returns the catalogue pattern with the given name
+// ("P1" … "P6", "RP1" … "RP3"), or nil.
+func PatternCatalogueByName(name string) *Pattern { return pattern.ByName(name) }
+
+// NewGraph creates an empty flow instance with numV vertices and the given
+// source and sink.
+func NewGraph(numV int, source, sink VertexID) *Graph { return tin.NewGraph(numV, source, sink) }
+
+// NewNetwork creates an empty interaction network with numV vertices.
+func NewNetwork(numV int) *Network { return tin.NewNetwork(numV) }
+
+// LoadNetwork reads a network from a text (optionally .gz) interaction file.
+func LoadNetwork(path string) (*Network, error) { return tin.LoadNetwork(path) }
+
+// SaveNetwork writes a network to a text (optionally .gz) interaction file.
+func SaveNetwork(path string, n *Network) error { return tin.SaveNetwork(path, n) }
+
+// DefaultExtractOptions mirror the paper's subgraph extraction setup.
+func DefaultExtractOptions() ExtractOptions { return tin.DefaultExtractOptions() }
+
+// Greedy computes the greedy flow of g (Definition 5): a single scan over
+// the interactions in time order. Linear in the interaction count.
+func Greedy(g *Graph) float64 { return core.Greedy(g) }
+
+// GreedySoluble reports whether the greedy algorithm is guaranteed to
+// compute the maximum flow of g (Lemma 2: every non-terminal vertex has
+// exactly one outgoing edge).
+func GreedySoluble(g *Graph) bool { return core.GreedySoluble(g) }
+
+// MaxFlow computes the temporal maximum flow of g with the paper's complete
+// PreSim pipeline (solubility test, preprocessing, simplification, LP).
+func MaxFlow(g *Graph) (float64, error) { return core.MaxFlow(g) }
+
+// MaxFlowLP computes the maximum flow by solving the LP formulation
+// directly — the paper's baseline, quadratic in the interaction count.
+func MaxFlowLP(g *Graph) (float64, error) { return core.MaxFlowLP(g) }
+
+// MaxFlowTEG computes the maximum flow via the time-expanded static
+// reduction (Akrida et al.) solved with Dinic's algorithm.
+func MaxFlowTEG(g *Graph) float64 { return teg.MaxFlow(g) }
+
+// Pre runs the paper's Pre pipeline: solubility test, preprocessing,
+// re-test, then the exact engine only if needed. g is not modified.
+func Pre(g *Graph, engine Engine) (Result, error) { return core.Pre(g, engine) }
+
+// PreSim runs the complete pipeline (Pre plus chain simplification).
+// g is not modified.
+func PreSim(g *Graph, engine Engine) (Result, error) { return core.PreSim(g, engine) }
+
+// Preprocess applies Algorithm 1 (interaction/edge/vertex elimination) to g
+// in place, preserving its maximum flow. The graph must be a DAG.
+func Preprocess(g *Graph) (PreprocessStats, error) { return core.Preprocess(g) }
+
+// Simplify applies Algorithm 2 (source-chain reduction) to g in place,
+// preserving its maximum flow.
+func Simplify(g *Graph) SimplifyStats { return core.Simplify(g) }
+
+// Precompute builds the path tables (L2, L3 and optionally C2) that
+// SearchPB joins; the tables depend only on the network and are reusable
+// across patterns.
+func Precompute(n *Network, withChains bool) Tables { return pattern.Precompute(n, withChains) }
+
+// SearchGB enumerates a pattern's instances by graph browsing and computes
+// each instance's maximum flow. No precomputed data required.
+func SearchGB(n *Network, p *Pattern, opts PatternOptions) (PatternSummary, error) {
+	return pattern.SearchGB(n, p, opts)
+}
+
+// SearchPB enumerates a pattern's instances using precomputed path tables,
+// reusing stored path flows whenever the pattern decomposes into
+// independent anchored paths.
+func SearchPB(n *Network, t Tables, p *Pattern, opts PatternOptions) (PatternSummary, error) {
+	return pattern.SearchPB(n, t, p, opts)
+}
+
+// EnumerateGB streams a rigid pattern's instances to fn; return false from
+// fn to stop. The *Instance is reused between calls.
+func EnumerateGB(n *Network, p *Pattern, fn func(*Instance) bool) error {
+	return pattern.EnumerateGB(n, p, fn)
+}
+
+// InstanceFlow computes the maximum flow of one rigid pattern instance.
+func InstanceFlow(n *Network, p *Pattern, inst *Instance, engine Engine) (float64, error) {
+	return pattern.InstanceFlow(n, p, inst, engine)
+}
+
+// DatasetConfig parameterizes the synthetic dataset generators.
+type DatasetConfig = datagen.Config
+
+// GenerateBitcoin builds a synthetic network shaped after the paper's
+// Bitcoin dataset (heavy-tailed degrees, long per-edge sequences).
+func GenerateBitcoin(cfg DatasetConfig) *Network { return datagen.Bitcoin(cfg) }
+
+// GenerateCTU13 builds a synthetic network shaped after the CTU-13 botnet
+// traffic dataset (hub-and-spoke, short sequences).
+func GenerateCTU13(cfg DatasetConfig) *Network { return datagen.CTU13(cfg) }
+
+// GenerateProsper builds a synthetic network shaped after the Prosper
+// loans dataset (dense, one interaction per edge).
+func GenerateProsper(cfg DatasetConfig) *Network { return datagen.Prosper(cfg) }

@@ -1,0 +1,191 @@
+package flownet_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	flownet "flownet"
+)
+
+// buildFigure3 builds the paper's running example through the public API.
+func buildFigure3() *flownet.Graph {
+	g := flownet.NewGraph(4, 0, 3)
+	edges := [][2]flownet.VertexID{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}
+	seqs := [][2]float64{{1, 5}, {2, 3}, {3, 5}, {4, 4}, {5, 1}}
+	for i, e := range edges {
+		id := g.AddEdge(e[0], e[1])
+		g.AddInteraction(id, seqs[i][0], seqs[i][1])
+	}
+	g.Finalize()
+	return g
+}
+
+func TestPublicFlowAPI(t *testing.T) {
+	g := buildFigure3()
+	if f := flownet.Greedy(g); f != 1 {
+		t.Errorf("Greedy=%g, want 1", f)
+	}
+	if flownet.GreedySoluble(g) {
+		t.Errorf("figure 3 graph should not be greedy-soluble")
+	}
+	max, err := flownet.MaxFlow(g)
+	if err != nil {
+		t.Fatalf("MaxFlow: %v", err)
+	}
+	if math.Abs(max-5) > 1e-9 {
+		t.Errorf("MaxFlow=%g, want 5", max)
+	}
+	lp, err := flownet.MaxFlowLP(g)
+	if err != nil || math.Abs(lp-5) > 1e-9 {
+		t.Errorf("MaxFlowLP=%g (%v), want 5", lp, err)
+	}
+	if f := flownet.MaxFlowTEG(g); math.Abs(f-5) > 1e-9 {
+		t.Errorf("MaxFlowTEG=%g, want 5", f)
+	}
+	res, err := flownet.PreSim(g, flownet.EngineLP)
+	if err != nil {
+		t.Fatalf("PreSim: %v", err)
+	}
+	if res.Class != flownet.ClassC {
+		t.Errorf("class=%s, want C", res.Class)
+	}
+	resT, err := flownet.Pre(g, flownet.EngineTEG)
+	if err != nil || math.Abs(resT.Flow-5) > 1e-9 {
+		t.Errorf("Pre TEG flow=%g (%v), want 5", resT.Flow, err)
+	}
+}
+
+func TestPublicMutators(t *testing.T) {
+	g := buildFigure3()
+	h := g.Clone()
+	if _, err := flownet.Preprocess(h); err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	flownet.Simplify(h)
+	f, err := flownet.MaxFlowLP(h)
+	if err != nil || math.Abs(f-5) > 1e-9 {
+		t.Errorf("flow after reductions=%g (%v), want 5", f, err)
+	}
+}
+
+func TestPublicNetworkAndPatterns(t *testing.T) {
+	n := flownet.NewNetwork(4)
+	n.AddInteraction(0, 1, 1, 5)
+	n.AddInteraction(1, 0, 2, 4)
+	n.AddInteraction(1, 2, 3, 3)
+	n.AddInteraction(2, 0, 4, 3)
+	n.Finalize()
+
+	tables := flownet.Precompute(n, true)
+	opts := flownet.PatternOptions{Engine: flownet.EngineLP}
+	gb, err := flownet.SearchGB(n, flownet.P2, opts)
+	if err != nil {
+		t.Fatalf("SearchGB: %v", err)
+	}
+	pb, err := flownet.SearchPB(n, tables, flownet.P2, opts)
+	if err != nil {
+		t.Fatalf("SearchPB: %v", err)
+	}
+	if gb.Instances != pb.Instances || gb.Instances != 2 {
+		t.Errorf("P2 instances GB=%d PB=%d, want 2 (both rotations)", gb.Instances, pb.Instances)
+	}
+
+	count := 0
+	err = flownet.EnumerateGB(n, flownet.P3, func(inst *flownet.Instance) bool {
+		f, err := flownet.InstanceFlow(n, flownet.P3, inst, flownet.EngineLP)
+		if err != nil {
+			t.Fatalf("InstanceFlow: %v", err)
+		}
+		if f < 0 {
+			t.Errorf("negative flow")
+		}
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("EnumerateGB: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("P3 instances=%d, want 3 (rotations of 0-1-2)", count)
+	}
+	if len(flownet.PatternCatalogue) != 9 {
+		t.Errorf("catalogue size=%d, want 9", len(flownet.PatternCatalogue))
+	}
+}
+
+func TestPublicExtensions(t *testing.T) {
+	// Time-window restriction (§7), source-sink subgraph extraction, and
+	// table delta updates (footnote 2) are all reachable from the facade.
+	n := flownet.NewNetwork(4)
+	n.AddInteraction(0, 1, 1, 5)
+	n.AddInteraction(1, 2, 2, 4)
+	n.AddInteraction(2, 3, 3, 3)
+	n.AddInteraction(1, 3, 9, 1)
+	n.Finalize()
+
+	g, ok := n.FlowSubgraphBetween(0, 3)
+	if !ok {
+		t.Fatalf("no subgraph 0->3")
+	}
+	max, err := flownet.MaxFlow(g)
+	if err != nil || math.Abs(max-4) > 1e-9 {
+		t.Errorf("flow 0->3 = %g (%v), want 4 (3 via chain + 1 direct)", max, err)
+	}
+
+	w := g.RestrictWindow(1, 3)
+	wmax, err := flownet.MaxFlow(w)
+	if err != nil || math.Abs(wmax-3) > 1e-9 {
+		t.Errorf("windowed flow = %g (%v), want 3", wmax, err)
+	}
+
+	windowed := n.RestrictWindow(2, 9)
+	if windowed.NumInteractions() != 3 {
+		t.Errorf("network window kept %d interactions, want 3", windowed.NumInteractions())
+	}
+
+	tables := flownet.Precompute(n, true)
+	updated := tables.Update(n, nil) // no changes: must be a no-op copy
+	if len(updated.L3.Rows) != len(tables.L3.Rows) || len(updated.C2.Rows) != len(tables.C2.Rows) {
+		t.Errorf("no-op update changed table sizes")
+	}
+
+	// MinPaths through the facade.
+	if _, err := flownet.SearchGB(n, flownet.RP2, flownet.PatternOptions{MinPaths: 2}); err != nil {
+		t.Errorf("MinPaths search: %v", err)
+	}
+}
+
+func TestPublicExtractAndIO(t *testing.T) {
+	n := flownet.GenerateProsper(flownet.DatasetConfig{Vertices: 300, Seed: 9})
+	path := filepath.Join(t.TempDir(), "net.txt.gz")
+	if err := flownet.SaveNetwork(path, n); err != nil {
+		t.Fatalf("SaveNetwork: %v", err)
+	}
+	m, err := flownet.LoadNetwork(path)
+	if err != nil {
+		t.Fatalf("LoadNetwork: %v", err)
+	}
+	if m.NumInteractions() != n.NumInteractions() {
+		t.Errorf("round trip lost interactions")
+	}
+	found := false
+	for v := 0; v < m.NumVertices() && !found; v++ {
+		g, ok := m.ExtractSubgraph(flownet.VertexID(v), flownet.DefaultExtractOptions())
+		if !ok {
+			continue
+		}
+		found = true
+		greedy := flownet.Greedy(g)
+		max, err := flownet.MaxFlow(g)
+		if err != nil {
+			t.Fatalf("MaxFlow: %v", err)
+		}
+		if greedy > max+1e-6 {
+			t.Errorf("greedy %g exceeds max %g", greedy, max)
+		}
+	}
+	if !found {
+		t.Fatalf("no extractable subgraph in generated network")
+	}
+}

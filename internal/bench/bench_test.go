@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flownet/internal/core"
+	"flownet/internal/datagen"
+	"flownet/internal/pattern"
+	"flownet/internal/tin"
+)
+
+func testCorpus(t *testing.T) ([]Subgraph, *tin.Network) {
+	t.Helper()
+	n := datagen.Prosper(datagen.Config{Vertices: 400, Seed: 5})
+	corpus := BuildCorpus(n, DefaultCorpusOptions())
+	if len(corpus) == 0 {
+		t.Fatalf("empty corpus")
+	}
+	return corpus, n
+}
+
+func TestBuildCorpus(t *testing.T) {
+	corpus, _ := testCorpus(t)
+	for i, s := range corpus {
+		if err := s.G.Validate(); err != nil {
+			t.Fatalf("subgraph %d invalid: %v", i, err)
+		}
+		if !s.G.IsDAG() {
+			t.Fatalf("subgraph %d not a DAG", i)
+		}
+		if s.Class < core.ClassA || s.Class > core.ClassC {
+			t.Fatalf("subgraph %d class out of range", i)
+		}
+	}
+	st := Stats(corpus)
+	if st.Count != len(corpus) {
+		t.Errorf("stats count mismatch")
+	}
+	if st.PerClass[0]+st.PerClass[1]+st.PerClass[2] != st.Count {
+		t.Errorf("class counts do not add up: %+v", st)
+	}
+	if st.AvgInteractions <= 0 || st.AvgVertices < 3 {
+		t.Errorf("degenerate stats: %+v", st)
+	}
+}
+
+func TestBuildCorpusLimits(t *testing.T) {
+	n := datagen.Prosper(datagen.Config{Vertices: 400, Seed: 5})
+	all := BuildCorpus(n, DefaultCorpusOptions())
+	opts := DefaultCorpusOptions()
+	opts.MaxSubgraphs = 3
+	limited := BuildCorpus(n, opts)
+	if len(limited) != 3 {
+		t.Errorf("MaxSubgraphs ignored: got %d", len(limited))
+	}
+	opts = DefaultCorpusOptions()
+	opts.MaxSeeds = 50
+	seeded := BuildCorpus(n, opts)
+	if len(seeded) > len(all) {
+		t.Errorf("MaxSeeds produced more subgraphs than full scan")
+	}
+	for _, s := range seeded {
+		if int(s.Seed) >= 50 {
+			t.Errorf("seed %d beyond MaxSeeds", s.Seed)
+		}
+	}
+}
+
+func TestRunFlowBench(t *testing.T) {
+	corpus, _ := testCorpus(t)
+	opts := DefaultFlowBenchOptions()
+	rep, err := RunFlowBench(corpus, opts)
+	if err != nil {
+		t.Fatalf("RunFlowBench: %v", err)
+	}
+	if rep.All.Count != len(corpus) {
+		t.Errorf("counted %d of %d subgraphs", rep.All.Count, len(corpus))
+	}
+	if rep.All.Mismatch != 0 {
+		t.Errorf("%d flow mismatches between LP, Pre and PreSim", rep.All.Mismatch)
+	}
+	if rep.All.LPCount == 0 {
+		t.Errorf("LP baseline never ran")
+	}
+	var sb strings.Builder
+	rep.Print(&sb, "test table")
+	out := sb.String()
+	for _, want := range []string{"Greedy", "PreSim", "Class A", "Class C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "MISMATCH") || strings.Contains(out, "WARNING") {
+		t.Errorf("report shows mismatches:\n%s", out)
+	}
+}
+
+func TestRunBucketBench(t *testing.T) {
+	corpus, _ := testCorpus(t)
+	rep, err := RunBucketBench(corpus, DefaultFlowBenchOptions())
+	if err != nil {
+		t.Fatalf("RunBucketBench: %v", err)
+	}
+	total := 0
+	for _, c := range rep.Buckets {
+		total += c.Count
+	}
+	if total != len(corpus) {
+		t.Errorf("buckets cover %d of %d subgraphs", total, len(corpus))
+	}
+	var sb strings.Builder
+	rep.Print(&sb, "figure 11")
+	if !strings.Contains(sb.String(), "<100") {
+		t.Errorf("bucket report missing bucket labels:\n%s", sb.String())
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{{0, 0}, {99, 0}, {100, 1}, {1000, 1}, {1001, 2}, {50000, 2}}
+	for _, c := range cases {
+		if got := bucketOf(c.n); got != c.want {
+			t.Errorf("bucketOf(%d)=%d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRunPatternBench(t *testing.T) {
+	_, n := testCorpus(t)
+	opts := PatternBenchOptions{
+		WithChains: true,
+		Engine:     core.EngineLP,
+		Patterns: []*pattern.Pattern{
+			pattern.P2, pattern.P3, pattern.P5, pattern.P6,
+			pattern.RP2, pattern.RP3,
+		},
+	}
+	rep, err := RunPatternBench(n, opts)
+	if err != nil {
+		t.Fatalf("RunPatternBench: %v", err)
+	}
+	if len(rep.Rows) != len(opts.Patterns) {
+		t.Fatalf("rows=%d, want %d", len(rep.Rows), len(opts.Patterns))
+	}
+	for _, row := range rep.Rows {
+		if !row.AgreementOK {
+			t.Errorf("%s: GB and PB disagree", row.Pattern)
+		}
+	}
+	var sb strings.Builder
+	rep.Print(&sb, "test patterns")
+	if strings.Contains(sb.String(), "MISMATCH") {
+		t.Errorf("report shows mismatch:\n%s", sb.String())
+	}
+}
+
+func TestRunPatternBenchSkipsChainsPatterns(t *testing.T) {
+	_, n := testCorpus(t)
+	rep, err := RunPatternBench(n, PatternBenchOptions{WithChains: false, Engine: core.EngineLP,
+		MaxInstances: 200})
+	if err != nil {
+		t.Fatalf("RunPatternBench: %v", err)
+	}
+	for _, row := range rep.Rows {
+		if row.Pattern == "P1" || row.Pattern == "RP1" {
+			t.Errorf("chain-table pattern %s ran without C2", row.Pattern)
+		}
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "-"},
+		{5 * time.Nanosecond, "0.00001"},
+		{100 * time.Microsecond, "0.1000"},
+		{25 * time.Millisecond, "25.000"},
+	}
+	for _, c := range cases {
+		if got := fmtDuration(c.d); got != c.want {
+			t.Errorf("fmtDuration(%v)=%q, want %q", c.d, got, c.want)
+		}
+	}
+}

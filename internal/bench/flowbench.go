@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"flownet/internal/core"
+)
+
+// FlowBenchOptions control the Table 6–8 / Figure 11 measurements.
+type FlowBenchOptions struct {
+	// Engine is the exact engine for Pre/PreSim (the paper uses LP).
+	Engine core.Engine
+	// LPSampleLimit caps how many subgraphs per (class, bucket) cell run
+	// the raw LP baseline; its average is extrapolated from the sample.
+	// The LP baseline is quadratic in the interaction count and exists to
+	// be beaten, so sampling keeps full-corpus runs tractable. 0 = all.
+	LPSampleLimit int
+	// LPMaxInteractions skips the raw LP baseline on subgraphs with more
+	// interactions (their Pre/PreSim/Greedy numbers are still measured).
+	// 0 = no limit.
+	LPMaxInteractions int
+	// VerifyFlows cross-checks that LP, Pre and PreSim agree on every
+	// subgraph where LP ran (greedy is only a lower bound).
+	VerifyFlows bool
+}
+
+// DefaultFlowBenchOptions keep full-corpus runs tractable while measuring
+// every method on every class.
+func DefaultFlowBenchOptions() FlowBenchOptions {
+	return FlowBenchOptions{
+		Engine:            core.EngineLP,
+		LPSampleLimit:     25,
+		LPMaxInteractions: 2000,
+		VerifyFlows:       true,
+	}
+}
+
+// Cell aggregates per-method average runtimes over a set of subgraphs.
+type Cell struct {
+	Count    int
+	LPCount  int // subgraphs on which the raw LP baseline actually ran
+	Greedy   time.Duration
+	LP       time.Duration
+	Pre      time.Duration
+	PreSim   time.Duration
+	Mismatch int // flow disagreements detected (should stay 0)
+}
+
+func (c *Cell) addAvg(greedy, lp, pre, presim time.Duration, lpRan bool) {
+	c.Count++
+	c.Greedy += greedy
+	c.Pre += pre
+	c.PreSim += presim
+	if lpRan {
+		c.LPCount++
+		c.LP += lp
+	}
+}
+
+func (c Cell) avg() Cell {
+	out := c
+	if c.Count > 0 {
+		out.Greedy /= time.Duration(c.Count)
+		out.Pre /= time.Duration(c.Count)
+		out.PreSim /= time.Duration(c.Count)
+	}
+	if c.LPCount > 0 {
+		out.LP /= time.Duration(c.LPCount)
+	}
+	return out
+}
+
+// FlowReport is the Table 6–8 content: per-class and overall average
+// runtimes of the four methods.
+type FlowReport struct {
+	All      Cell
+	PerClass [3]Cell
+}
+
+// lpSampler decides, deterministically and stratified across each stratum,
+// which subgraphs run the raw LP baseline: with a limit of k over a stratum
+// of size m, every ceil(m/k)-th eligible subgraph is sampled, spreading the
+// sample across the corpus instead of front-loading it.
+type lpSampler struct {
+	stride [3]int
+	seen   [3]int
+	taken  [3]int
+	limit  int
+	maxIA  int
+}
+
+func newLPSampler(counts [3]int, opts FlowBenchOptions) *lpSampler {
+	s := &lpSampler{limit: opts.LPSampleLimit, maxIA: opts.LPMaxInteractions}
+	for i, m := range counts {
+		s.stride[i] = 1
+		if s.limit > 0 && m > s.limit {
+			s.stride[i] = (m + s.limit - 1) / s.limit
+		}
+	}
+	return s
+}
+
+func (s *lpSampler) take(stratum, interactions int) bool {
+	if s.maxIA > 0 && interactions > s.maxIA {
+		return false
+	}
+	i := s.seen[stratum]
+	s.seen[stratum]++
+	if s.limit > 0 {
+		if s.taken[stratum] >= s.limit || i%s.stride[stratum] != 0 {
+			return false
+		}
+	}
+	s.taken[stratum]++
+	return true
+}
+
+// RunFlowBench times Greedy, LP, Pre and PreSim on every corpus subgraph
+// (LP subject to the sampling options) and aggregates averages per class.
+func RunFlowBench(corpus []Subgraph, opts FlowBenchOptions) (FlowReport, error) {
+	var rep FlowReport
+	var classCounts [3]int
+	for _, s := range corpus {
+		if opts.LPMaxInteractions == 0 || s.G.NumInteractions() <= opts.LPMaxInteractions {
+			classCounts[s.Class]++
+		}
+	}
+	sampler := newLPSampler(classCounts, opts)
+	for _, s := range corpus {
+		g := s.G
+
+		t0 := time.Now()
+		greedyFlow := core.Greedy(g)
+		dGreedy := time.Since(t0)
+		_ = greedyFlow
+
+		t0 = time.Now()
+		preRes, err := core.Pre(g, opts.Engine)
+		if err != nil {
+			return rep, fmt.Errorf("bench: Pre on seed %d: %w", s.Seed, err)
+		}
+		dPre := time.Since(t0)
+
+		t0 = time.Now()
+		simRes, err := core.PreSim(g, opts.Engine)
+		if err != nil {
+			return rep, fmt.Errorf("bench: PreSim on seed %d: %w", s.Seed, err)
+		}
+		dPreSim := time.Since(t0)
+
+		runLP := sampler.take(int(s.Class), g.NumInteractions())
+		var dLP time.Duration
+		if runLP {
+			t0 = time.Now()
+			lpFlow, err := core.MaxFlowLP(g)
+			if err != nil {
+				return rep, fmt.Errorf("bench: LP on seed %d: %w", s.Seed, err)
+			}
+			dLP = time.Since(t0)
+			if opts.VerifyFlows {
+				if relErr(lpFlow, preRes.Flow) > 1e-6 || relErr(lpFlow, simRes.Flow) > 1e-6 {
+					rep.All.Mismatch++
+					rep.PerClass[s.Class].Mismatch++
+				}
+			}
+		}
+		if opts.VerifyFlows && relErr(preRes.Flow, simRes.Flow) > 1e-6 {
+			rep.All.Mismatch++
+		}
+
+		rep.All.addAvg(dGreedy, dLP, dPre, dPreSim, runLP)
+		rep.PerClass[s.Class].addAvg(dGreedy, dLP, dPre, dPreSim, runLP)
+	}
+	rep.All = rep.All.avg()
+	for i := range rep.PerClass {
+		rep.PerClass[i] = rep.PerClass[i].avg()
+	}
+	return rep, nil
+}
+
+// Print renders the report in the layout of Tables 6–8 (average msec per
+// subgraph; LP averaged over its sampled runs).
+func (r FlowReport) Print(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-16s %10s %12s %12s %12s\n", "", "Greedy", "LP", "Pre", "PreSim")
+	row := func(name string, c Cell) {
+		fmt.Fprintf(w, "%-16s %10s %12s %12s %12s\n",
+			fmt.Sprintf("%s (%d)", name, c.Count),
+			fmtDuration(c.Greedy), fmtDuration(c.LP), fmtDuration(c.Pre), fmtDuration(c.PreSim))
+	}
+	row("All", r.All)
+	row("Class A", r.PerClass[0])
+	row("Class B", r.PerClass[1])
+	row("Class C", r.PerClass[2])
+	fmt.Fprintf(w, "raw LP sampled on %d/%d/%d subgraphs per class (size-capped; "+
+		"its average understates the true LP cost on large class-C inputs)\n",
+		r.PerClass[0].LPCount, r.PerClass[1].LPCount, r.PerClass[2].LPCount)
+	if r.All.Mismatch > 0 {
+		fmt.Fprintf(w, "WARNING: %d flow mismatches detected\n", r.All.Mismatch)
+	}
+}
+
+// Buckets for Figure 11: interaction-count ranges.
+var bucketNames = [3]string{"<100", "100-1000", ">1000"}
+
+func bucketOf(interactions int) int {
+	switch {
+	case interactions < 100:
+		return 0
+	case interactions <= 1000:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// BucketReport is the Figure 11 content: per-bucket average runtimes.
+type BucketReport struct {
+	Buckets [3]Cell
+}
+
+// RunBucketBench reproduces Figure 11: the corpus is partitioned by
+// interaction count (<100, 100–1000, >1000) and each method's average
+// runtime is measured per bucket.
+func RunBucketBench(corpus []Subgraph, opts FlowBenchOptions) (BucketReport, error) {
+	var rep BucketReport
+	var bucketCounts [3]int
+	for _, s := range corpus {
+		if opts.LPMaxInteractions == 0 || s.G.NumInteractions() <= opts.LPMaxInteractions {
+			bucketCounts[bucketOf(s.G.NumInteractions())]++
+		}
+	}
+	sampler := newLPSampler(bucketCounts, opts)
+	for _, s := range corpus {
+		b := bucketOf(s.G.NumInteractions())
+
+		t0 := time.Now()
+		core.Greedy(s.G)
+		dGreedy := time.Since(t0)
+
+		t0 = time.Now()
+		if _, err := core.Pre(s.G, opts.Engine); err != nil {
+			return rep, err
+		}
+		dPre := time.Since(t0)
+
+		t0 = time.Now()
+		if _, err := core.PreSim(s.G, opts.Engine); err != nil {
+			return rep, err
+		}
+		dPreSim := time.Since(t0)
+
+		runLP := sampler.take(b, s.G.NumInteractions())
+		var dLP time.Duration
+		if runLP {
+			t0 = time.Now()
+			if _, err := core.MaxFlowLP(s.G); err != nil {
+				return rep, err
+			}
+			dLP = time.Since(t0)
+		}
+		rep.Buckets[b].addAvg(dGreedy, dLP, dPre, dPreSim, runLP)
+	}
+	for i := range rep.Buckets {
+		rep.Buckets[i] = rep.Buckets[i].avg()
+	}
+	return rep, nil
+}
+
+// Print renders the bucket report as the series behind Figure 11.
+func (r BucketReport) Print(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-16s %10s %12s %12s %12s\n", "#interactions", "Greedy", "LP", "Pre", "PreSim")
+	for i, c := range r.Buckets {
+		fmt.Fprintf(w, "%-16s %10s %12s %12s %12s\n",
+			fmt.Sprintf("%s (%d)", bucketNames[i], c.Count),
+			fmtDuration(c.Greedy), fmtDuration(c.LP), fmtDuration(c.Pre), fmtDuration(c.PreSim))
+	}
+}

@@ -1,0 +1,66 @@
+package bench
+
+import "testing"
+
+func TestLPSamplerStratifies(t *testing.T) {
+	opts := FlowBenchOptions{LPSampleLimit: 5, LPMaxInteractions: 100}
+	s := newLPSampler([3]int{50, 5, 0}, opts)
+
+	// Stratum 0: 50 eligible, limit 5 -> stride 10: indices 0,10,20,30,40.
+	taken := 0
+	for i := 0; i < 50; i++ {
+		if s.take(0, 10) {
+			taken++
+		}
+	}
+	if taken != 5 {
+		t.Errorf("stratum 0: took %d, want 5", taken)
+	}
+
+	// Stratum 1: 5 eligible, limit 5 -> everything sampled.
+	taken = 0
+	for i := 0; i < 5; i++ {
+		if s.take(1, 10) {
+			taken++
+		}
+	}
+	if taken != 5 {
+		t.Errorf("stratum 1: took %d, want 5", taken)
+	}
+}
+
+func TestLPSamplerSizeCap(t *testing.T) {
+	opts := FlowBenchOptions{LPSampleLimit: 0, LPMaxInteractions: 100}
+	s := newLPSampler([3]int{10, 0, 0}, opts)
+	if s.take(0, 101) {
+		t.Errorf("oversized subgraph sampled")
+	}
+	if !s.take(0, 100) {
+		t.Errorf("boundary-sized subgraph rejected")
+	}
+}
+
+func TestLPSamplerUnlimited(t *testing.T) {
+	opts := FlowBenchOptions{}
+	s := newLPSampler([3]int{1000, 0, 0}, opts)
+	for i := 0; i < 100; i++ {
+		if !s.take(0, 1<<20) {
+			t.Fatalf("unlimited sampler rejected subgraph %d", i)
+		}
+	}
+}
+
+func TestLPSamplerNeverExceedsLimit(t *testing.T) {
+	opts := FlowBenchOptions{LPSampleLimit: 7, LPMaxInteractions: 0}
+	// Deliberately understated stratum count: the limit must still hold.
+	s := newLPSampler([3]int{3, 0, 0}, opts)
+	taken := 0
+	for i := 0; i < 500; i++ {
+		if s.take(0, 1) {
+			taken++
+		}
+	}
+	if taken > 7 {
+		t.Errorf("took %d, limit 7", taken)
+	}
+}

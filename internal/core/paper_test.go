@@ -1,0 +1,434 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flownet/internal/teg"
+	"flownet/internal/tin"
+)
+
+// figure3 builds the paper's Figure 3 running example:
+// s=0, y=1, z=2, t=3.
+func figure3() *tin.Graph {
+	g := tin.NewGraph(4, 0, 3)
+	g.AddSeq(g.AddEdge(0, 1), [2]float64{1, 5}) // s->y
+	g.AddSeq(g.AddEdge(0, 2), [2]float64{2, 3}) // s->z
+	g.AddSeq(g.AddEdge(1, 2), [2]float64{3, 5}) // y->z
+	g.AddSeq(g.AddEdge(1, 3), [2]float64{4, 4}) // y->t
+	g.AddSeq(g.AddEdge(2, 3), [2]float64{5, 1}) // z->t
+	g.Finalize()
+	return g
+}
+
+// figure1a builds the toy network of Figure 1(a):
+// s=0, x=1, y=2, z=3, t=4.
+func figure1a() *tin.Graph {
+	g := tin.NewGraph(5, 0, 4)
+	g.AddSeq(g.AddEdge(0, 1), [2]float64{1, 3}, [2]float64{7, 5})  // s->x
+	g.AddSeq(g.AddEdge(1, 3), [2]float64{5, 5})                    // x->z
+	g.AddSeq(g.AddEdge(0, 2), [2]float64{2, 6})                    // s->y
+	g.AddSeq(g.AddEdge(2, 3), [2]float64{8, 5})                    // y->z
+	g.AddSeq(g.AddEdge(2, 4), [2]float64{9, 4})                    // y->t
+	g.AddSeq(g.AddEdge(3, 4), [2]float64{2, 3}, [2]float64{10, 1}) // z->t
+	g.Finalize()
+	return g
+}
+
+// figure5a builds the chain DAG of Figure 5(a):
+// s=0, x=1, y=2, t=3.
+func figure5a() *tin.Graph {
+	g := tin.NewGraph(4, 0, 3)
+	g.AddSeq(g.AddEdge(0, 1), [2]float64{1, 5}, [2]float64{4, 3}, [2]float64{5, 2})
+	g.AddSeq(g.AddEdge(1, 2), [2]float64{3, 3}, [2]float64{7, 4})
+	g.AddSeq(g.AddEdge(2, 3), [2]float64{6, 3}, [2]float64{8, 6})
+	g.Finalize()
+	return g
+}
+
+func TestPaperTable2GreedyTrace(t *testing.T) {
+	g := figure3()
+	rows := GreedyTrace(g)
+	// Table 2 buffer columns: Bs, By, Bz, Bt after each interaction.
+	want := [][]float64{
+		{5, 0, 0},
+		{5, 3, 0},
+		{0, 8, 0},
+		{0, 8, 0},
+		{0, 7, 1},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		if !math.IsInf(rows[i][0], 1) {
+			t.Errorf("row %d: Bs=%g, want +inf", i, rows[i][0])
+		}
+		for j, q := range w {
+			if rows[i][j+1] != q {
+				t.Errorf("row %d: B%d=%g, want %g", i, j+1, rows[i][j+1], q)
+			}
+		}
+	}
+	if f := Greedy(g); f != 1 {
+		t.Errorf("greedy flow=%g, want 1 (Table 2)", f)
+	}
+}
+
+func TestPaperTable3MaximumFlow(t *testing.T) {
+	g := figure3()
+	// Table 3 shows the optimum: 5 units reach the sink.
+	lpFlow, err := MaxFlowLP(g)
+	if err != nil {
+		t.Fatalf("MaxFlowLP: %v", err)
+	}
+	if math.Abs(lpFlow-5) > 1e-9 {
+		t.Errorf("LP max flow=%g, want 5 (Table 3)", lpFlow)
+	}
+	if f := teg.MaxFlow(g); math.Abs(f-5) > 1e-9 {
+		t.Errorf("TEG max flow=%g, want 5", f)
+	}
+	// Figure 3's graph has vertex y with two outgoing edges, so greedy is
+	// not guaranteed (and indeed not) optimal.
+	if GreedySoluble(g) {
+		t.Errorf("figure 3 graph must not be greedy-soluble")
+	}
+}
+
+func TestPaperFigure1(t *testing.T) {
+	g := figure1a()
+	// Greedy: y sends 5 to z at t=8, leaving 1 for (9,4): flow 1+1=2.
+	if f := Greedy(g); f != 2 {
+		t.Errorf("greedy=%g, want 2", f)
+	}
+	// Maximum: y reserves for (9,4): 4 via y->t, 1 via z->t = 5.
+	f, err := MaxFlowLP(g)
+	if err != nil {
+		t.Fatalf("MaxFlowLP: %v", err)
+	}
+	if math.Abs(f-5) > 1e-9 {
+		t.Errorf("max flow=%g, want 5", f)
+	}
+
+	// The intro's preprocessing example: interaction (2,$3) on (z,t) is
+	// eliminated because every interaction entering z is later.
+	h := g.Clone()
+	st, err := Preprocess(h)
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	if st.Interactions < 1 {
+		t.Errorf("preprocess removed %d interactions, want >= 1", st.Interactions)
+	}
+	zt := h.FindEdge(3, 4)
+	if zt < 0 {
+		t.Fatalf("edge z->t missing after preprocess")
+	}
+	for _, ia := range h.Edges[zt].Seq {
+		if ia.Time == 2 {
+			t.Errorf("interaction (2,3) on z->t not removed")
+		}
+	}
+	// Preprocessing preserves the maximum flow.
+	f2, err := MaxFlowLP(h)
+	if err != nil {
+		t.Fatalf("MaxFlowLP after preprocess: %v", err)
+	}
+	if math.Abs(f2-5) > 1e-9 {
+		t.Errorf("max flow after preprocess=%g, want 5", f2)
+	}
+
+	// The intro's simplification example: chain s->x->z reduces to an edge
+	// (s,z); Figure 1(b) shows it carrying (5,$3).
+	Simplify(h)
+	sz := h.FindEdge(0, 3)
+	if sz < 0 {
+		t.Fatalf("edge s->z missing after simplify")
+	}
+	seq := h.Edges[sz].Seq
+	if len(seq) != 1 || seq[0].Time != 5 || seq[0].Qty != 3 {
+		t.Errorf("s->z sequence %v, want [(5,3)]", seq)
+	}
+	f3, err := MaxFlowLP(h)
+	if err != nil {
+		t.Fatalf("MaxFlowLP after simplify: %v", err)
+	}
+	if math.Abs(f3-5) > 1e-9 {
+		t.Errorf("max flow after simplify=%g, want 5", f3)
+	}
+}
+
+func TestPaperFigure5aChain(t *testing.T) {
+	g := figure5a()
+	if !IsChain(g) {
+		t.Fatalf("figure 5(a) graph should be a chain")
+	}
+	if !GreedySoluble(g) {
+		t.Fatalf("chains are greedy-soluble (Lemma 1)")
+	}
+	flow, arrivals := GreedyArrivals(g)
+	if flow != 7 {
+		t.Errorf("greedy flow=%g, want 7", flow)
+	}
+	// The paper reduces this chain to edge (s,t) with {(6,3),(8,4)}.
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals=%v, want 2 entries", arrivals)
+	}
+	if arrivals[0].Time != 6 || arrivals[0].Qty != 3 {
+		t.Errorf("first arrival %v, want (6,3)", arrivals[0])
+	}
+	if arrivals[1].Time != 8 || arrivals[1].Qty != 4 {
+		t.Errorf("second arrival %v, want (8,4)", arrivals[1])
+	}
+	// Greedy equals max flow on chains.
+	f, err := MaxFlowLP(g)
+	if err != nil {
+		t.Fatalf("MaxFlowLP: %v", err)
+	}
+	if math.Abs(f-7) > 1e-9 {
+		t.Errorf("max flow=%g, want 7 (= greedy on a chain)", f)
+	}
+
+	// Simplify must perform exactly that reduction.
+	h := g.Clone()
+	st := Simplify(h)
+	if st.ChainsReduced != 1 {
+		t.Errorf("chains reduced=%d, want 1", st.ChainsReduced)
+	}
+	if h.NumLiveVertices() != 2 || h.NumLiveEdges() != 1 {
+		t.Errorf("simplified to V=%d E=%d, want 2,1", h.NumLiveVertices(), h.NumLiveEdges())
+	}
+	est := h.FindEdge(0, 3)
+	seq := h.Edges[est].Seq
+	if len(seq) != 2 || seq[0].Time != 6 || seq[0].Qty != 3 || seq[1].Time != 8 || seq[1].Qty != 4 {
+		t.Errorf("reduced edge sequence %v, want [(6,3) (8,4)]", seq)
+	}
+}
+
+// figure6G1 builds DAG G1 of Figure 6(a):
+// s=0, x=1, y=2, z=3, t=4.
+func figure6G1() *tin.Graph {
+	g := tin.NewGraph(5, 0, 4)
+	g.AddSeq(g.AddEdge(0, 1), [2]float64{5, 3}, [2]float64{8, 3})  // s->x
+	g.AddSeq(g.AddEdge(0, 2), [2]float64{9, 7})                    // s->y
+	g.AddSeq(g.AddEdge(0, 3), [2]float64{10, 5})                   // s->z
+	g.AddSeq(g.AddEdge(1, 2), [2]float64{2, 7}, [2]float64{12, 4}) // x->y
+	g.AddSeq(g.AddEdge(1, 3), [2]float64{1, 2}, [2]float64{13, 1}) // x->z
+	g.AddSeq(g.AddEdge(2, 4), [2]float64{3, 3}, [2]float64{15, 2}) // y->t
+	g.AddSeq(g.AddEdge(3, 4), [2]float64{4, 2}, [2]float64{11, 4}) // z->t
+	g.Finalize()
+	return g
+}
+
+func TestPaperFigure6G1Preprocess(t *testing.T) {
+	g := figure6G1()
+	before, err := MaxFlowLP(g)
+	if err != nil {
+		t.Fatalf("MaxFlowLP: %v", err)
+	}
+	st, err := Preprocess(g)
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	// The paper deletes exactly (2,7) from x->y, (1,2) from x->z, (3,3)
+	// from y->t, (4,2) from z->t; no edges or vertices.
+	if st.Interactions != 4 || st.Edges != 0 || st.Vertices != 0 {
+		t.Errorf("stats=%+v, want 4 interactions, 0 edges, 0 vertices", st)
+	}
+	checks := []struct {
+		from, to tin.VertexID
+		want     [][2]float64
+	}{
+		{1, 2, [][2]float64{{12, 4}}},
+		{1, 3, [][2]float64{{13, 1}}},
+		{2, 4, [][2]float64{{15, 2}}},
+		{3, 4, [][2]float64{{11, 4}}},
+		{0, 1, [][2]float64{{5, 3}, {8, 3}}}, // source edges untouched
+	}
+	for _, c := range checks {
+		e := g.FindEdge(c.from, c.to)
+		if e < 0 {
+			t.Fatalf("edge %d->%d missing", c.from, c.to)
+		}
+		seq := g.Edges[e].Seq
+		if len(seq) != len(c.want) {
+			t.Errorf("edge %d->%d: seq %v, want %v", c.from, c.to, seq, c.want)
+			continue
+		}
+		for i, w := range c.want {
+			if seq[i].Time != w[0] || seq[i].Qty != w[1] {
+				t.Errorf("edge %d->%d[%d]: %v, want (%g,%g)", c.from, c.to, i, seq[i], w[0], w[1])
+			}
+		}
+	}
+	after, err := MaxFlowLP(g)
+	if err != nil {
+		t.Fatalf("MaxFlowLP after: %v", err)
+	}
+	if math.Abs(before-after) > 1e-9 {
+		t.Errorf("preprocess changed max flow: %g -> %g", before, after)
+	}
+}
+
+// figure6G2 builds DAG G2 of Figure 6(c):
+// s=0, x=1, y=2, z=3, t=4.
+func figure6G2() *tin.Graph {
+	g := tin.NewGraph(5, 0, 4)
+	g.AddSeq(g.AddEdge(0, 1), [2]float64{5, 3}, [2]float64{8, 3})  // s->x
+	g.AddSeq(g.AddEdge(1, 2), [2]float64{3, 4})                    // x->y
+	g.AddSeq(g.AddEdge(2, 4), [2]float64{1, 2}, [2]float64{13, 1}) // y->t
+	g.AddSeq(g.AddEdge(0, 4), [2]float64{9, 7})                    // s->t
+	g.AddSeq(g.AddEdge(0, 3), [2]float64{10, 5})                   // s->z
+	g.AddSeq(g.AddEdge(3, 4), [2]float64{4, 2}, [2]float64{11, 4}) // z->t
+	g.Finalize()
+	return g
+}
+
+func TestPaperFigure6G2PreprocessCascades(t *testing.T) {
+	g := figure6G2()
+	st, err := Preprocess(g)
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	// x's only out-interaction (3,4) precedes its earliest inflow (5,3), so
+	// edge (x,y) empties; x loses its outgoing edges and is deleted with
+	// s->x; y loses its incoming edges and is deleted with y->t; z keeps
+	// (11,4) after deleting (4,2).
+	if g.VertexAlive(1) || g.VertexAlive(2) {
+		t.Errorf("x and y should be deleted")
+	}
+	if st.Vertices != 2 {
+		t.Errorf("vertices deleted=%d, want 2", st.Vertices)
+	}
+	if g.NumLiveEdges() != 3 {
+		t.Errorf("live edges=%d, want 3 (s->t, s->z, z->t)", g.NumLiveEdges())
+	}
+	zt := g.FindEdge(3, 4)
+	if zt < 0 || len(g.Edges[zt].Seq) != 1 || g.Edges[zt].Seq[0].Time != 11 {
+		t.Errorf("z->t should carry only (11,4)")
+	}
+	// Figure 6(d)'s result is soluble by greedy: the paper re-applies the
+	// Lemma 2 check after preprocessing.
+	if !GreedySoluble(g) {
+		t.Errorf("preprocessed G2 should be greedy-soluble")
+	}
+	if f := Greedy(g); f != 7+4 {
+		t.Errorf("flow=%g, want 11 (7 direct + min(5 in, 4 out) via z)", f)
+	}
+}
+
+// figure2cInstance builds the pattern instance of Figure 2(c) as a flow
+// graph: the cycle u1->u2->u3->u1 with u1 split into source and sink.
+// s=0, t=1, u2=2, u3=3.
+func figure2cInstance() *tin.Graph {
+	g := tin.NewGraph(4, 0, 1)
+	g.AddSeq(g.AddEdge(0, 2), [2]float64{2, 5}, [2]float64{4, 3}, [2]float64{8, 1}) // u1->u2
+	g.AddSeq(g.AddEdge(2, 3), [2]float64{3, 4}, [2]float64{5, 2})                   // u2->u3
+	g.AddSeq(g.AddEdge(3, 1), [2]float64{1, 2}, [2]float64{6, 5})                   // u3->u1
+	g.Finalize()
+	return g
+}
+
+func TestPaperFigure2cInstanceFlow(t *testing.T) {
+	g := figure2cInstance()
+	// The caption reports flow = $5.
+	if f := Greedy(g); f != 5 {
+		t.Errorf("greedy=%g, want 5", f)
+	}
+	f, err := MaxFlowLP(g)
+	if err != nil {
+		t.Fatalf("MaxFlowLP: %v", err)
+	}
+	if math.Abs(f-5) > 1e-9 {
+		t.Errorf("max flow=%g, want 5", f)
+	}
+	// Section 4.2.3's example: interaction (1,$2) on the last edge is
+	// eliminated because all interactions entering u3 are later.
+	h := g.Clone()
+	st, err := Preprocess(h)
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	if st.Interactions != 1 {
+		t.Errorf("removed %d interactions, want 1", st.Interactions)
+	}
+	e := h.FindEdge(3, 1)
+	if len(h.Edges[e].Seq) != 1 || h.Edges[e].Seq[0].Time != 6 {
+		t.Errorf("u3->t should carry only (6,5): %v", h.Edges[e].Seq)
+	}
+	// Section 5.1: the greedy arrivals into u3 are {(3,$4),(5,$2)}.
+	_, arr := GreedyArrivals(chainPrefix(g))
+	if len(arr) != 2 || arr[0].Time != 3 || arr[0].Qty != 4 || arr[1].Time != 5 || arr[1].Qty != 2 {
+		t.Errorf("arrivals into u3 = %v, want [(3,4) (5,2)]", arr)
+	}
+}
+
+// chainPrefix builds the two-edge prefix u1->u2->u3 of the Figure 2(c)
+// instance as its own flow graph (s=0, u2=1, sink u3=2).
+func chainPrefix(*tin.Graph) *tin.Graph {
+	g := tin.NewGraph(3, 0, 2)
+	g.AddSeq(g.AddEdge(0, 1), [2]float64{2, 5}, [2]float64{4, 3}, [2]float64{8, 1})
+	g.AddSeq(g.AddEdge(1, 2), [2]float64{3, 4}, [2]float64{5, 2})
+	g.Finalize()
+	return g
+}
+
+func TestPaperLemma2Example(t *testing.T) {
+	// Figure 5(b)-style DAG: source with several outgoing edges, every
+	// other vertex with exactly one; greedy computes the maximum flow.
+	g := tin.NewGraph(5, 0, 4) // s, a, b, c, t
+	g.AddSeq(g.AddEdge(0, 1), [2]float64{1, 5}, [2]float64{6, 2})
+	g.AddSeq(g.AddEdge(0, 2), [2]float64{2, 4})
+	g.AddSeq(g.AddEdge(0, 3), [2]float64{3, 3})
+	g.AddSeq(g.AddEdge(1, 4), [2]float64{4, 6}, [2]float64{7, 3})
+	g.AddSeq(g.AddEdge(2, 4), [2]float64{5, 4})
+	g.AddSeq(g.AddEdge(3, 4), [2]float64{8, 2})
+	g.Finalize()
+	if !GreedySoluble(g) {
+		t.Fatalf("graph satisfies Lemma 2's condition")
+	}
+	greedy := Greedy(g)
+	max, err := MaxFlowLP(g)
+	if err != nil {
+		t.Fatalf("MaxFlowLP: %v", err)
+	}
+	if math.Abs(greedy-max) > 1e-9 {
+		t.Errorf("greedy=%g != max=%g on a Lemma 2 graph", greedy, max)
+	}
+}
+
+func TestSyntheticSourceSink(t *testing.T) {
+	// Figure 4: multiple sources/sinks get a synthetic source and sink with
+	// infinite-quantity interactions at -inf / +inf.
+	// Original: x=2, y=3 sources; z=4, w=5 sinks; synthetic s=0, t=1.
+	g := tin.NewGraph(6, 0, 1)
+	se1 := g.AddEdge(0, 2)
+	se2 := g.AddEdge(0, 3)
+	g.AddInteraction(se1, math.Inf(-1), math.Inf(1))
+	g.AddInteraction(se2, math.Inf(-1), math.Inf(1))
+	g.AddSeq(g.AddEdge(2, 4), [2]float64{1, 5}) // x->z
+	g.AddSeq(g.AddEdge(2, 5), [2]float64{2, 3}) // x->w
+	g.AddSeq(g.AddEdge(3, 5), [2]float64{5, 1}) // y->w
+	te1 := g.AddEdge(4, 1)
+	te2 := g.AddEdge(5, 1)
+	g.AddInteraction(te1, math.Inf(1), math.Inf(1))
+	g.AddInteraction(te2, math.Inf(1), math.Inf(1))
+	g.Finalize()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// All original-source outputs can reach a sink: 5 + 3 + 1 = 9.
+	if f := Greedy(g); f != 9 {
+		t.Errorf("greedy=%g, want 9", f)
+	}
+	f, err := MaxFlowLP(g)
+	if err != nil {
+		t.Fatalf("MaxFlowLP: %v", err)
+	}
+	if math.Abs(f-9) > 1e-9 {
+		t.Errorf("LP max flow=%g, want 9", f)
+	}
+	if f := teg.MaxFlow(g); math.Abs(f-9) > 1e-9 {
+		t.Errorf("TEG max flow=%g, want 9", f)
+	}
+}

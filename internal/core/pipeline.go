@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"flownet/internal/lp"
+	"flownet/internal/teg"
+	"flownet/internal/tin"
+)
+
+// Engine selects the exact solver applied when the greedy algorithm is not
+// guaranteed to find the maximum flow.
+type Engine int
+
+const (
+	// EngineLP solves the LP formulation with the simplex of internal/lp,
+	// as the paper does (it used the lpsolve library).
+	EngineLP Engine = iota
+	// EngineTEG solves the time-expanded static reduction with Dinic's
+	// algorithm; same optimum, different cost profile.
+	EngineTEG
+)
+
+// String returns the engine name.
+func (e Engine) String() string {
+	switch e {
+	case EngineLP:
+		return "lp"
+	case EngineTEG:
+		return "teg"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// Class is the difficulty class of a subgraph as defined in Section 6.2 of
+// the paper.
+type Class int
+
+const (
+	// ClassA graphs are soluble by the greedy algorithm as-is.
+	ClassA Class = iota
+	// ClassB graphs become greedy-soluble after preprocessing.
+	ClassB
+	// ClassC graphs need the exact engine even after preprocessing.
+	ClassC
+)
+
+// String returns "A", "B" or "C".
+func (c Class) String() string { return [...]string{"A", "B", "C"}[c] }
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	// Flow is the maximum flow from source to sink.
+	Flow float64
+	// Class is the difficulty class the pipeline assigned to the input.
+	Class Class
+	// UsedEngine is true when the exact engine ran (Class C).
+	UsedEngine bool
+	// SolvedGreedyAfterSimplify is true when simplification alone reduced a
+	// Class C graph to a greedy-soluble one (PreSim only).
+	SolvedGreedyAfterSimplify bool
+	// Pre / Sim describe what preprocessing and simplification removed.
+	Pre PreprocessStats
+	Sim SimplifyStats
+	// LPVariables is the variable count of the final LP (0 if none ran).
+	LPVariables int
+}
+
+// Pre is the paper's "Pre" method: test greedy solubility (Lemma 2); if it
+// fails, preprocess (Algorithm 1) and re-test; only if that also fails run
+// the exact engine. The input graph is not modified.
+func Pre(g *tin.Graph, engine Engine) (Result, error) {
+	return pipeline(g, engine, false)
+}
+
+// PreSim is the paper's complete solution: Pre plus graph simplification
+// (Algorithm 2) before the exact engine runs. The input graph is not
+// modified.
+func PreSim(g *tin.Graph, engine Engine) (Result, error) {
+	return pipeline(g, engine, true)
+}
+
+func pipeline(g *tin.Graph, engine Engine, simplify bool) (Result, error) {
+	var res Result
+	if GreedySoluble(g) {
+		res.Flow = Greedy(g)
+		res.Class = ClassA
+		return res, nil
+	}
+	h := g.Clone()
+	pre, err := Preprocess(h)
+	if err != nil {
+		return res, err
+	}
+	res.Pre = pre
+	res.Class = ClassB
+	if ZeroFlow(h) {
+		return res, nil
+	}
+	if GreedySoluble(h) {
+		res.Flow = Greedy(h)
+		return res, nil
+	}
+	res.Class = ClassC
+	if simplify {
+		res.Sim = Simplify(h)
+		if ZeroFlow(h) {
+			return res, nil
+		}
+		if GreedySoluble(h) {
+			res.Flow = Greedy(h)
+			res.SolvedGreedyAfterSimplify = true
+			return res, nil
+		}
+	}
+	res.UsedEngine = true
+	switch engine {
+	case EngineTEG:
+		res.Flow = teg.MaxFlow(h)
+	default:
+		m := BuildLP(h)
+		res.LPVariables = m.Prob.NumVars()
+		sol, err := lp.Solve(m.Prob)
+		switch {
+		case err == lp.ErrUnbounded:
+			res.Flow = math.Inf(1)
+		case err != nil:
+			return res, fmt.Errorf("core: %s engine: %w", engine, err)
+		default:
+			res.Flow = sol.Objective + m.ConstFlow
+		}
+	}
+	return res, nil
+}
+
+// MaxFlow computes the temporal maximum flow of g with the full PreSim
+// pipeline and the LP engine — the paper's recommended configuration.
+func MaxFlow(g *tin.Graph) (float64, error) {
+	res, err := PreSim(g, EngineLP)
+	return res.Flow, err
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+
+	"flownet/internal/tin"
+)
+
+// SimplifyStats reports what Algorithm 2 did.
+type SimplifyStats struct {
+	ChainsReduced int // chains replaced by single edges
+	EdgesMerged   int // parallel (source, v) edges merged away
+	Interactions  int // net interactions removed
+	Vertices      int // inner chain vertices removed
+}
+
+// Simplify applies the paper's Algorithm 2 (graph simplification) to g in
+// place: every chain s→v1→…→vk that originates at the source (each inner
+// vertex with live in- and out-degree exactly one) is replaced by a single
+// edge (s, vk) whose interactions are the greedy arrivals at vk along the
+// chain (Lemma 3: reserving quantity at the source or at inner chain
+// vertices cannot increase the maximum flow, so the arrival sequence is an
+// exact summary). If an edge (s, vk) already exists, the two interaction
+// sequences are merged (Figure 7(c)); merging may create a new chain, so
+// the procedure iterates until no chain remains.
+//
+// Simplify preserves the maximum flow of the graph. It is typically run
+// after Preprocess, as in the PreSim pipeline.
+func Simplify(g *tin.Graph) SimplifyStats {
+	var st SimplifyStats
+	for {
+		chain := findSourceChain(g)
+		if chain == nil {
+			break
+		}
+		st.ChainsReduced++
+		before := g.NumInteractions()
+
+		arrivals := chainArrivals(g, chain)
+		last := g.Edges[chain[len(chain)-1]].To // vk
+
+		// Remove the chain's edges and inner vertices.
+		for i, e := range chain {
+			if i > 0 {
+				v := g.Edges[e].From
+				g.DeleteVertex(v) // also deletes the chain edges incident to v
+				st.Vertices++
+			}
+		}
+		// The first edge (s, v1) dies with v1's deletion unless the chain
+		// has a single inner vertex; delete defensively (idempotent).
+		g.DeleteEdge(chain[0])
+
+		// Attach the arrival sequence as edge (s, last), merging with an
+		// existing parallel edge if there is one. An empty arrival sequence
+		// still yields an edge, keeping the structure explicit; downstream
+		// preprocessing treats it as carrying nothing.
+		if ex := g.FindEdge(g.Source, last); ex >= 0 {
+			g.SetSeq(ex, mergeByOrd(g.Edges[ex].Seq, arrivals))
+			st.EdgesMerged++
+		} else {
+			g.AddReducedEdge(g.Source, last, arrivals)
+		}
+		st.Interactions += before - g.NumInteractions()
+	}
+	return st
+}
+
+// findSourceChain returns the edge ids of a maximal chain s→v1→…→vk with
+// k ≥ 2 edges whose inner vertices all have live in-degree and out-degree
+// exactly one, or nil if no such chain exists. Deterministic: the source's
+// live out-edges are scanned in id order.
+func findSourceChain(g *tin.Graph) []tin.EdgeID {
+	var chain []tin.EdgeID
+	g.OutEdges(g.Source, func(first tin.EdgeID) {
+		if chain != nil {
+			return
+		}
+		v := g.Edges[first].To
+		if v == g.Sink || g.InDegree(v) != 1 || g.OutDegree(v) != 1 {
+			return
+		}
+		c := []tin.EdgeID{first}
+		for v != g.Sink && v != g.Source && g.InDegree(v) == 1 && g.OutDegree(v) == 1 {
+			e := g.FirstOutEdge(v)
+			c = append(c, e)
+			v = g.Edges[e].To
+			if len(c) > g.NumLiveEdges() {
+				return // cycle guard; cannot happen on validated DAGs
+			}
+		}
+		if v == g.Source {
+			return // cycle back to source; not a reducible chain
+		}
+		chain = c
+	})
+	return chain
+}
+
+// chainEvent is an interaction with its endpoints, used by chainArrivals.
+type chainEvent struct {
+	ia       tin.Interaction
+	from, to tin.VertexID
+}
+
+// chainArrivals runs the greedy algorithm restricted to the chain's edges
+// and returns the positive arrivals at the chain's final vertex, with Ord
+// and Time inherited from the triggering interactions (Lemma 3).
+func chainArrivals(g *tin.Graph, chain []tin.EdgeID) []tin.Interaction {
+	var events []chainEvent
+	for _, e := range chain {
+		ed := &g.Edges[e]
+		for _, ia := range ed.Seq {
+			events = append(events, chainEvent{ia, ed.From, ed.To})
+		}
+	}
+	// Seq slices are Ord-sorted; merging k of them by a global sort keeps
+	// the code simple (chains are short).
+	sortEvents(events)
+	buf := make(map[tin.VertexID]float64)
+	buf[g.Source] = math.Inf(1)
+	last := g.Edges[chain[len(chain)-1]].To
+	var arrivals []tin.Interaction
+	for _, e := range events {
+		q := math.Min(e.ia.Qty, buf[e.from])
+		if q <= 0 {
+			continue
+		}
+		if !math.IsInf(buf[e.from], 1) {
+			buf[e.from] -= q
+		}
+		buf[e.to] += q
+		if e.to == last {
+			arrivals = append(arrivals, tin.Interaction{Time: e.ia.Time, Qty: q, Ord: e.ia.Ord})
+		}
+	}
+	return arrivals
+}
+
+func sortEvents(events []chainEvent) {
+	// Insertion sort on Ord: event lists here are concatenations of a few
+	// already-sorted runs, where insertion sort is near linear.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].ia.Ord < events[j-1].ia.Ord; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}
+
+// mergeByOrd merges two Ord-sorted interaction sequences into one.
+func mergeByOrd(a, b []tin.Interaction) []tin.Interaction {
+	out := make([]tin.Interaction, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Ord <= b[j].Ord {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,124 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"flownet/internal/tin"
+)
+
+func TestRandomDAGValid(t *testing.T) {
+	cfg := DefaultDAGConfig()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		g := RandomDAG(rng, cfg)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: Validate: %v\n%s", trial, err, g)
+		}
+		if !g.IsDAG() {
+			t.Fatalf("trial %d: not a DAG", trial)
+		}
+		if g.NumV < cfg.MinV || g.NumV > cfg.MaxV {
+			t.Fatalf("trial %d: %d vertices outside [%d,%d]", trial, g.NumV, cfg.MinV, cfg.MaxV)
+		}
+		for v := 1; v < g.NumV-1; v++ {
+			if g.InDegree(tin.VertexID(v)) == 0 || g.OutDegree(tin.VertexID(v)) == 0 {
+				t.Fatalf("trial %d: inner vertex %d lacks in or out edge", trial, v)
+			}
+		}
+	}
+}
+
+func TestRandomDAGDeterministic(t *testing.T) {
+	cfg := DefaultDAGConfig()
+	a := RandomDAG(rand.New(rand.NewSource(7)), cfg)
+	b := RandomDAG(rand.New(rand.NewSource(7)), cfg)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different graphs")
+	}
+}
+
+func TestRandomChain(t *testing.T) {
+	cfg := DefaultDAGConfig()
+	rng := rand.New(rand.NewSource(2))
+	for edges := 1; edges <= 6; edges++ {
+		g := RandomChain(rng, edges, cfg)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("edges=%d: %v", edges, err)
+		}
+		if g.NumLiveEdges() != edges {
+			t.Fatalf("edges=%d: got %d edges", edges, g.NumLiveEdges())
+		}
+	}
+	if g := RandomChain(rng, 0, cfg); g.NumLiveEdges() != 1 {
+		t.Fatalf("zero edges should clamp to 1")
+	}
+}
+
+func TestDatasetsSmall(t *testing.T) {
+	cfg := Config{Vertices: 600, Seed: 1, Scale: 0.5}
+	for _, d := range AllDatasets {
+		t.Run(d.String(), func(t *testing.T) {
+			n := Generate(d, cfg)
+			st := n.Stats()
+			if st.Vertices != 600 {
+				t.Errorf("vertices=%d, want 600", st.Vertices)
+			}
+			if st.Edges == 0 || st.Interactions < st.Edges {
+				t.Errorf("degenerate network: %+v", st)
+			}
+			if st.AvgQty <= 0 {
+				t.Errorf("non-positive average quantity")
+			}
+			// The workloads need local cycles: at least some vertex must
+			// have a returning path.
+			found := 0
+			for v := 0; v < st.Vertices && found == 0; v++ {
+				if _, ok := n.ExtractSubgraph(tin.VertexID(v), tin.DefaultExtractOptions()); ok {
+					found++
+				}
+			}
+			if found == 0 {
+				t.Errorf("%s: no extractable subgraphs at all", d)
+			}
+		})
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	cfg := Config{Vertices: 300, Seed: 42}
+	a := Prosper(cfg).Stats()
+	b := Prosper(cfg).Stats()
+	if a != b {
+		t.Fatalf("same config produced different networks: %+v vs %+v", a, b)
+	}
+	c := Prosper(Config{Vertices: 300, Seed: 43}).Stats()
+	if a == c {
+		t.Fatalf("different seeds produced identical statistics (suspicious)")
+	}
+}
+
+func TestDatasetShapeDifferences(t *testing.T) {
+	cfg := Config{Vertices: 800, Seed: 3}
+	btc := Bitcoin(cfg).Stats()
+	ctu := CTU13(cfg).Stats()
+	pros := Prosper(cfg).Stats()
+	// Bitcoin-like networks must have clearly more interactions per edge
+	// than CTU-13-like ones; Prosper-like has ~1.
+	btcRatio := float64(btc.Interactions) / float64(btc.Edges)
+	ctuRatio := float64(ctu.Interactions) / float64(ctu.Edges)
+	prosRatio := float64(pros.Interactions) / float64(pros.Edges)
+	if btcRatio <= ctuRatio {
+		t.Errorf("bitcoin interactions/edge %.2f should exceed ctu %.2f", btcRatio, ctuRatio)
+	}
+	if prosRatio != 1 {
+		t.Errorf("prosper interactions/edge = %.2f, want exactly 1", prosRatio)
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	if DatasetBitcoin.String() != "Bitcoin" || DatasetCTU13.String() != "CTU-13" ||
+		DatasetProsper.String() != "Prosper Loans" {
+		t.Errorf("dataset names wrong")
+	}
+}

@@ -1,0 +1,144 @@
+// Package datagen generates synthetic temporal interaction networks.
+//
+// It serves two roles. RandomDAG/RandomChain produce small random flow
+// instances for property-based testing (cross-validating greedy, LP and the
+// time-expanded reduction against each other). Bitcoin/CTU13/Prosper
+// produce whole networks whose structural statistics follow the shape of
+// the paper's three real datasets (Table 4), which are not redistributable;
+// DESIGN.md §4 documents the substitution and why it preserves the
+// behaviour under evaluation.
+package datagen
+
+import (
+	"math/rand"
+
+	"flownet/internal/tin"
+)
+
+// DAGConfig controls RandomDAG.
+type DAGConfig struct {
+	// MinV and MaxV bound the vertex count (inclusive), source and sink
+	// included. MinV must be at least 3 for the graph to have inner
+	// vertices.
+	MinV, MaxV int
+	// EdgeProb is the probability of an edge between an ordered pair of
+	// inner-layer vertices (i < j in the layer order).
+	EdgeProb float64
+	// MaxInteractions bounds the interactions drawn per edge (at least 1).
+	MaxInteractions int
+	// MaxTime is the exclusive upper bound of integral timestamps. Small
+	// values force timestamp collisions, exercising the canonical
+	// tie-breaking order.
+	MaxTime int
+	// MaxQty is the inclusive upper bound of integral quantities (≥ 1).
+	MaxQty int
+	// ZeroQtyProb makes some interactions carry quantity zero, a legal
+	// degenerate case.
+	ZeroQtyProb float64
+}
+
+// DefaultDAGConfig returns a configuration producing small, integrally
+// valued DAGs suitable for exhaustive cross-validation.
+func DefaultDAGConfig() DAGConfig {
+	return DAGConfig{
+		MinV:            3,
+		MaxV:            10,
+		EdgeProb:        0.35,
+		MaxInteractions: 4,
+		MaxTime:         30,
+		MaxQty:          10,
+	}
+}
+
+// RandomDAG generates a random connected DAG with vertex 0 as source and
+// vertex V-1 as sink, edges oriented from lower to higher vertex index,
+// and random integral interaction sequences. Every inner vertex is
+// guaranteed at least one incoming and one outgoing edge, so the graph
+// passes tin.Validate.
+func RandomDAG(rng *rand.Rand, cfg DAGConfig) *tin.Graph {
+	if cfg.MinV < 3 {
+		cfg.MinV = 3
+	}
+	v := cfg.MinV
+	if cfg.MaxV > cfg.MinV {
+		v += rng.Intn(cfg.MaxV - cfg.MinV + 1)
+	}
+	source, sink := tin.VertexID(0), tin.VertexID(v-1)
+	g := tin.NewGraph(v, source, sink)
+
+	type pair struct{ a, b tin.VertexID }
+	have := make(map[pair]bool)
+	addEdge := func(a, b tin.VertexID) {
+		if a == b || have[pair{a, b}] {
+			return
+		}
+		have[pair{a, b}] = true
+		e := g.AddEdge(a, b)
+		k := 1 + rng.Intn(cfg.MaxInteractions)
+		for i := 0; i < k; i++ {
+			t := float64(rng.Intn(cfg.MaxTime))
+			q := float64(1 + rng.Intn(cfg.MaxQty))
+			if cfg.ZeroQtyProb > 0 && rng.Float64() < cfg.ZeroQtyProb {
+				q = 0
+			}
+			g.AddInteraction(e, t, q)
+		}
+	}
+
+	// Random forward edges between all ordered pairs.
+	for a := 0; a < v; a++ {
+		for b := a + 1; b < v; b++ {
+			if tin.VertexID(a) == source && tin.VertexID(b) == sink {
+				continue // keep direct source->sink edges rarer
+			}
+			if rng.Float64() < cfg.EdgeProb {
+				addEdge(tin.VertexID(a), tin.VertexID(b))
+			}
+		}
+	}
+	// Guarantee in/out degrees of inner vertices (and connectivity).
+	for m := 1; m < v-1; m++ {
+		vm := tin.VertexID(m)
+		if g.InDegree(vm) == 0 {
+			a := tin.VertexID(rng.Intn(m)) // some earlier vertex (maybe source)
+			addEdge(a, vm)
+			if g.InDegree(vm) == 0 { // pair already existed? cannot happen, but stay safe
+				addEdge(source, vm)
+			}
+		}
+		if g.OutDegree(vm) == 0 {
+			b := tin.VertexID(m + 1 + rng.Intn(v-m-1))
+			addEdge(vm, b)
+			if g.OutDegree(vm) == 0 {
+				addEdge(vm, sink)
+			}
+		}
+	}
+	if g.OutDegree(source) == 0 {
+		addEdge(source, tin.VertexID(1+rng.Intn(v-1)))
+	}
+	if g.InDegree(sink) == 0 {
+		addEdge(tin.VertexID(rng.Intn(v-1)), sink)
+	}
+	g.Finalize()
+	return g
+}
+
+// RandomChain generates a chain DAG s→v1→…→sink with the given number of
+// edges and random interaction sequences; by Lemma 1 the greedy algorithm
+// computes its maximum flow exactly, which property tests exploit.
+func RandomChain(rng *rand.Rand, edges int, cfg DAGConfig) *tin.Graph {
+	if edges < 1 {
+		edges = 1
+	}
+	g := tin.NewGraph(edges+1, 0, tin.VertexID(edges))
+	for i := 0; i < edges; i++ {
+		e := g.AddEdge(tin.VertexID(i), tin.VertexID(i+1))
+		k := 1 + rng.Intn(cfg.MaxInteractions)
+		for j := 0; j < k; j++ {
+			g.AddInteraction(e, float64(rng.Intn(cfg.MaxTime)), float64(1+rng.Intn(cfg.MaxQty)))
+		}
+	}
+	g.Finalize()
+	return g
+}

@@ -1,0 +1,222 @@
+package maxflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSingleArc(t *testing.T) {
+	g := NewGraph(2)
+	g.AddArc(0, 1, 7)
+	if f := g.Dinic(0, 1); f != 7 {
+		t.Errorf("Dinic=%g, want 7", f)
+	}
+	g.Reset()
+	if f := g.EdmondsKarp(0, 1); f != 7 {
+		t.Errorf("EdmondsKarp=%g, want 7", f)
+	}
+}
+
+func TestNoPath(t *testing.T) {
+	g := NewGraph(3)
+	g.AddArc(1, 0, 5) // wrong direction
+	if f := g.Dinic(0, 2); f != 0 {
+		t.Errorf("Dinic=%g, want 0", f)
+	}
+	g.Reset()
+	if f := g.EdmondsKarp(0, 2); f != 0 {
+		t.Errorf("EdmondsKarp=%g, want 0", f)
+	}
+}
+
+// clrsGraph is the classic CLRS example with max flow 23.
+func clrsGraph() *Graph {
+	g := NewGraph(6) // s=0, v1=1, v2=2, v3=3, v4=4, t=5
+	g.AddArc(0, 1, 16)
+	g.AddArc(0, 2, 13)
+	g.AddArc(1, 2, 10)
+	g.AddArc(2, 1, 4)
+	g.AddArc(1, 3, 12)
+	g.AddArc(3, 2, 9)
+	g.AddArc(2, 4, 14)
+	g.AddArc(4, 3, 7)
+	g.AddArc(3, 5, 20)
+	g.AddArc(4, 5, 4)
+	return g
+}
+
+func TestCLRS(t *testing.T) {
+	g := clrsGraph()
+	if f := g.Dinic(0, 5); f != 23 {
+		t.Errorf("Dinic=%g, want 23", f)
+	}
+	g.Reset()
+	if f := g.EdmondsKarp(0, 5); f != 23 {
+		t.Errorf("EdmondsKarp=%g, want 23", f)
+	}
+}
+
+func TestResetRestores(t *testing.T) {
+	g := clrsGraph()
+	first := g.Dinic(0, 5)
+	g.Reset()
+	second := g.Dinic(0, 5)
+	if first != second {
+		t.Errorf("Reset did not restore capacities: %g vs %g", first, second)
+	}
+}
+
+func TestFlowPerArc(t *testing.T) {
+	g := NewGraph(4) // diamond: 0->1->3, 0->2->3
+	a := g.AddArc(0, 1, 3)
+	b := g.AddArc(0, 2, 5)
+	c := g.AddArc(1, 3, 2)
+	d := g.AddArc(2, 3, 9)
+	if f := g.Dinic(0, 3); f != 7 {
+		t.Fatalf("Dinic=%g, want 7", f)
+	}
+	// Flow conservation: arc flows must sum to the total at source side.
+	if got := g.Flow(a) + g.Flow(b); got != 7 {
+		t.Errorf("source outflow %g, want 7", got)
+	}
+	if got := g.Flow(c) + g.Flow(d); got != 7 {
+		t.Errorf("sink inflow %g, want 7", got)
+	}
+	if g.Flow(c) > 2+1e-12 {
+		t.Errorf("arc c over capacity: %g", g.Flow(c))
+	}
+}
+
+func TestInfiniteCapacityPath(t *testing.T) {
+	g := NewGraph(3)
+	g.AddArc(0, 1, math.Inf(1))
+	g.AddArc(1, 2, math.Inf(1))
+	if f := g.Dinic(0, 2); !math.IsInf(f, 1) {
+		t.Errorf("Dinic=%g, want +inf", f)
+	}
+	g.Reset()
+	if f := g.EdmondsKarp(0, 2); !math.IsInf(f, 1) {
+		t.Errorf("EdmondsKarp=%g, want +inf", f)
+	}
+}
+
+func TestInfiniteMiddleFiniteEnds(t *testing.T) {
+	g := NewGraph(4)
+	g.AddArc(0, 1, 5)
+	g.AddArc(1, 2, math.Inf(1))
+	g.AddArc(2, 3, 3)
+	if f := g.Dinic(0, 3); f != 3 {
+		t.Errorf("Dinic=%g, want 3", f)
+	}
+	g.Reset()
+	if f := g.EdmondsKarp(0, 3); f != 3 {
+		t.Errorf("EdmondsKarp=%g, want 3", f)
+	}
+}
+
+func TestParallelArcs(t *testing.T) {
+	g := NewGraph(2)
+	g.AddArc(0, 1, 2)
+	g.AddArc(0, 1, 3)
+	if f := g.Dinic(0, 1); f != 5 {
+		t.Errorf("Dinic=%g, want 5", f)
+	}
+}
+
+func TestAddArcPanics(t *testing.T) {
+	g := NewGraph(2)
+	for _, c := range []struct {
+		name     string
+		from, to int
+		cap      float64
+	}{
+		{"negative capacity", 0, 1, -1},
+		{"nan capacity", 0, 1, math.NaN()},
+		{"self loop", 0, 0, 1},
+		{"out of range", 0, 5, 1},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			g.AddArc(c.from, c.to, c.cap)
+		})
+	}
+}
+
+func TestSourceEqualsSinkPanics(t *testing.T) {
+	g := NewGraph(2)
+	g.AddArc(0, 1, 1)
+	for _, name := range []string{"Dinic", "EdmondsKarp"} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			if name == "Dinic" {
+				g.Dinic(1, 1)
+			} else {
+				g.EdmondsKarp(1, 1)
+			}
+		})
+	}
+}
+
+// TestRandomDinicVsEdmondsKarp cross-checks the two implementations on
+// random graphs with integral capacities.
+func TestRandomDinicVsEdmondsKarp(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rng.Intn(8)
+		g := NewGraph(n)
+		arcs := 2 * n
+		for i := 0; i < arcs; i++ {
+			from := rng.Intn(n)
+			to := rng.Intn(n)
+			if from == to {
+				continue
+			}
+			g.AddArc(from, to, float64(1+rng.Intn(20)))
+		}
+		d := g.Dinic(0, n-1)
+		g.Reset()
+		ek := g.EdmondsKarp(0, n-1)
+		if math.Abs(d-ek) > 1e-9 {
+			t.Fatalf("trial %d: Dinic=%g EdmondsKarp=%g", trial, d, ek)
+		}
+		if d != math.Trunc(d) {
+			t.Fatalf("trial %d: non-integral flow %g on integral capacities", trial, d)
+		}
+	}
+}
+
+func BenchmarkDinicGrid(b *testing.B) {
+	// 20x20 grid, source top-left, sink bottom-right.
+	const k = 20
+	build := func() *Graph {
+		g := NewGraph(k * k)
+		rng := rand.New(rand.NewSource(1))
+		for r := 0; r < k; r++ {
+			for c := 0; c < k; c++ {
+				v := r*k + c
+				if c+1 < k {
+					g.AddArc(v, v+1, float64(1+rng.Intn(10)))
+				}
+				if r+1 < k {
+					g.AddArc(v, v+k, float64(1+rng.Intn(10)))
+				}
+			}
+		}
+		return g
+	}
+	g := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		g.Dinic(0, k*k-1)
+	}
+}

@@ -1,0 +1,224 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"flownet/internal/tin"
+)
+
+// Instance is one match of a rigid pattern: V[i] is the graph vertex the
+// pattern vertex i maps to, EdgeIDs[j] is the network edge realizing
+// pattern edge j.
+type Instance struct {
+	V       []tin.VertexID
+	EdgeIDs []tin.EdgeID
+}
+
+// matchPlan is a precomputed vertex placement order for backtracking: each
+// placed vertex (after the first) is adjacent in the pattern to an earlier
+// one, so candidates come from a neighbor list rather than the whole graph.
+type matchPlan struct {
+	order []int // pattern vertices in placement order
+	// anchorEdge[i] (i ≥ 1) is the pattern-edge index used to generate
+	// candidates for order[i]; its other endpoint precedes order[i].
+	anchorEdge []int
+	// checkEdges[i] lists pattern-edge indices whose endpoints are both
+	// placed once order[i] is, excluding anchorEdge[i].
+	checkEdges [][]int
+}
+
+func buildPlan(p *Pattern) (*matchPlan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	placed := make([]bool, p.NV)
+	plan := &matchPlan{
+		order:      []int{p.Source},
+		anchorEdge: []int{-1},
+	}
+	placed[p.Source] = true
+	used := make([]bool, len(p.Edges))
+	for len(plan.order) < p.NV {
+		found := -1
+		for j, e := range p.Edges {
+			if used[j] {
+				continue
+			}
+			if placed[e[0]] != placed[e[1]] {
+				found = j
+				break
+			}
+		}
+		if found == -1 {
+			return nil, fmt.Errorf("pattern %s: not connected", p.Name)
+		}
+		e := p.Edges[found]
+		next := e[0]
+		if placed[e[0]] {
+			next = e[1]
+		}
+		placed[next] = true
+		used[found] = true
+		plan.order = append(plan.order, next)
+		plan.anchorEdge = append(plan.anchorEdge, found)
+	}
+	// Edge-verification schedule: an edge is checked at the step where its
+	// later endpoint is placed.
+	pos := make([]int, p.NV)
+	for i, v := range plan.order {
+		pos[v] = i
+	}
+	plan.checkEdges = make([][]int, p.NV)
+	for j, e := range p.Edges {
+		if j == plan.anchorEdge[maxInt(pos[e[0]], pos[e[1]])] {
+			continue
+		}
+		at := maxInt(pos[e[0]], pos[e[1]])
+		plan.checkEdges[at] = append(plan.checkEdges[at], j)
+	}
+	return plan, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EnumerateGB enumerates all instances of a rigid pattern in the network by
+// graph browsing (Section 5.1): pattern vertices are instantiated in a
+// connectivity-respecting order, candidates are drawn from adjacency lists,
+// and every structural and distinctness constraint is checked as soon as
+// its operands are placed. fn is called for each instance; returning false
+// stops the enumeration. The Instance passed to fn is reused across calls —
+// copy it if it must be retained.
+func EnumerateGB(n *tin.Network, p *Pattern, fn func(*Instance) bool) error {
+	if p.Kind != KindRigid {
+		return fmt.Errorf("pattern %s: EnumerateGB requires a rigid pattern", p.Name)
+	}
+	plan, err := buildPlan(p)
+	if err != nil {
+		return err
+	}
+	inst := &Instance{
+		V:       make([]tin.VertexID, p.NV),
+		EdgeIDs: make([]tin.EdgeID, len(p.Edges)),
+	}
+	usedVert := make(map[tin.VertexID]bool, p.NV)
+
+	less := func() bool {
+		for _, lp := range p.LessPairs {
+			if inst.V[lp[0]] >= inst.V[lp[1]] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rec func(step int) bool
+	rec = func(step int) bool {
+		if step == p.NV {
+			if !less() {
+				return true
+			}
+			return fn(inst)
+		}
+		pv := plan.order[step]
+		ae := plan.anchorEdge[step]
+		e := p.Edges[ae]
+		var candidates []tin.EdgeID
+		forward := e[0] != pv // anchor edge goes placed -> pv
+		if forward {
+			candidates = n.OutEdges(inst.V[e[0]])
+		} else {
+			candidates = n.InEdges(inst.V[e[1]])
+		}
+		for _, eid := range candidates {
+			ne := n.Edge(eid)
+			var cand tin.VertexID
+			if forward {
+				cand = ne.To
+			} else {
+				cand = ne.From
+			}
+			if usedVert[cand] {
+				continue
+			}
+			inst.V[pv] = cand
+			inst.EdgeIDs[ae] = eid
+			ok := true
+			for _, j := range plan.checkEdges[step] {
+				ce := p.Edges[j]
+				id, exists := n.HasEdge(inst.V[ce[0]], inst.V[ce[1]])
+				if !exists {
+					ok = false
+					break
+				}
+				inst.EdgeIDs[j] = id
+			}
+			if !ok {
+				continue
+			}
+			usedVert[cand] = true
+			cont := rec(step + 1)
+			delete(usedVert, cand)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Seed the anchor with every graph vertex (vertices are unlabeled, so
+	// there is no pruning beyond degree: anchors need at least one outgoing
+	// and, for cyclic patterns, one incoming edge).
+	for v := 0; v < n.NumVertices(); v++ {
+		vid := tin.VertexID(v)
+		if n.OutDegree(vid) == 0 {
+			continue
+		}
+		if p.Cyclic() && n.InDegree(vid) == 0 {
+			continue
+		}
+		inst.V[p.Source] = vid
+		usedVert[vid] = true
+		cont := rec(1)
+		delete(usedVert, vid)
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+// CollectGB gathers up to limit instances (0 = no limit) as copies, sorted
+// deterministically. Intended for tests and small workloads.
+func CollectGB(n *tin.Network, p *Pattern, limit int) ([]Instance, error) {
+	var out []Instance
+	err := EnumerateGB(n, p, func(in *Instance) bool {
+		out = append(out, Instance{
+			V:       append([]tin.VertexID(nil), in.V...),
+			EdgeIDs: append([]tin.EdgeID(nil), in.EdgeIDs...),
+		})
+		return limit == 0 || len(out) < limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortInstances(out)
+	return out, nil
+}
+
+func sortInstances(ins []Instance) {
+	sort.Slice(ins, func(a, b int) bool {
+		va, vb := ins[a].V, ins[b].V
+		for i := range va {
+			if va[i] != vb[i] {
+				return va[i] < vb[i]
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,437 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"flownet/internal/core"
+	"flownet/internal/tin"
+)
+
+// Options control a pattern search.
+type Options struct {
+	// MaxInstances stops the search after this many instances (0 = all).
+	// The paper applies such a cut-off to the hardest Bitcoin patterns
+	// (P4*, P6* in Table 9).
+	MaxInstances int64
+	// Engine is the exact solver used for non-decomposable instances.
+	Engine core.Engine
+	// MinPaths applies to the relaxed patterns only (Section 5.3: "we may
+	// be interested in instances of the pattern which include at least 10
+	// cycles"): an aggregated instance is reported only if it bundles at
+	// least this many parallel paths. 0 or 1 means any.
+	MinPaths int
+}
+
+func (o Options) minPaths() int {
+	if o.MinPaths < 1 {
+		return 1
+	}
+	return o.MinPaths
+}
+
+// Summary aggregates a pattern search, matching the columns of the paper's
+// Tables 9–11 (instance count and average flow; the caller times the call).
+type Summary struct {
+	Pattern   string
+	Instances int64
+	TotalFlow float64
+	Truncated bool
+}
+
+// AvgFlow returns TotalFlow / Instances (0 when empty).
+func (s Summary) AvgFlow() float64 {
+	if s.Instances == 0 {
+		return 0
+	}
+	return s.TotalFlow / float64(s.Instances)
+}
+
+// SearchGB finds all instances of the pattern by graph browsing and
+// computes each instance's maximum flow with the core algorithms
+// (Section 5.1): no precomputed data is used.
+func SearchGB(n *tin.Network, p *Pattern, opts Options) (Summary, error) {
+	switch p.Kind {
+	case KindRigid:
+		return searchRigidGB(n, p, opts)
+	case KindRelaxed2Cycles:
+		return searchRelaxedCyclesGB(n, p, opts, 2)
+	case KindRelaxed3Cycles:
+		return searchRelaxedCyclesGB(n, p, opts, 3)
+	case KindRelaxedChains:
+		return searchRelaxedChainsGB(n, p, opts)
+	default:
+		return Summary{}, fmt.Errorf("pattern %s: unknown kind", p.Name)
+	}
+}
+
+func searchRigidGB(n *tin.Network, p *Pattern, opts Options) (Summary, error) {
+	sum := Summary{Pattern: p.Name}
+	var ierr error
+	err := EnumerateGB(n, p, func(inst *Instance) bool {
+		flow, err := InstanceFlow(n, p, inst, opts.Engine)
+		if err != nil {
+			ierr = err
+			return false
+		}
+		sum.Instances++
+		sum.TotalFlow += flow
+		if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
+			sum.Truncated = true
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = ierr
+	}
+	return sum, err
+}
+
+// searchRelaxedCyclesGB aggregates, per anchor vertex, the flows of all
+// (hops = 2) or all vertex-disjoint (hops = 3) anchored cycles. One
+// instance per anchor with at least one cycle (Section 5.3).
+func searchRelaxedCyclesGB(n *tin.Network, p *Pattern, opts Options, hops int) (Summary, error) {
+	sum := Summary{Pattern: p.Name}
+	for a := 0; a < n.NumVertices(); a++ {
+		va := tin.VertexID(a)
+		anchorFlow := 0.0
+		cycles := 0
+		used := make(map[tin.VertexID]bool)
+		for _, e1 := range n.OutEdges(va) {
+			b := n.Edge(e1).To
+			if hops == 2 {
+				if e2, ok := n.HasEdge(b, va); ok {
+					f, _ := pathArrivals(n, []tin.EdgeID{e1, e2})
+					anchorFlow += f
+					cycles++
+				}
+				continue
+			}
+			if used[b] {
+				continue
+			}
+			for _, e2 := range n.OutEdges(b) {
+				c := n.Edge(e2).To
+				if c == va || c == b || used[c] || used[b] {
+					continue
+				}
+				if e3, ok := n.HasEdge(c, va); ok {
+					f, _ := pathArrivals(n, []tin.EdgeID{e1, e2, e3})
+					anchorFlow += f
+					cycles++
+					used[b] = true
+					used[c] = true
+				}
+			}
+		}
+		if cycles >= opts.minPaths() {
+			sum.Instances++
+			sum.TotalFlow += anchorFlow
+			if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
+				sum.Truncated = true
+				return sum, nil
+			}
+		}
+	}
+	return sum, nil
+}
+
+// searchRelaxedChainsGB aggregates all 2-hop chains a→x→c per (a, c) pair.
+func searchRelaxedChainsGB(n *tin.Network, p *Pattern, opts Options) (Summary, error) {
+	sum := Summary{Pattern: p.Name}
+	for a := 0; a < n.NumVertices(); a++ {
+		va := tin.VertexID(a)
+		flows := make(map[tin.VertexID]float64) // end vertex -> aggregated flow
+		paths := make(map[tin.VertexID]int)
+		for _, e1 := range n.OutEdges(va) {
+			b := n.Edge(e1).To
+			for _, e2 := range n.OutEdges(b) {
+				c := n.Edge(e2).To
+				if c == va || c == b {
+					continue
+				}
+				f, _ := pathArrivals(n, []tin.EdgeID{e1, e2})
+				flows[c] += f
+				paths[c]++
+			}
+		}
+		// Deterministic accumulation order.
+		ends := make([]tin.VertexID, 0, len(flows))
+		for c := range flows {
+			ends = append(ends, c)
+		}
+		sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+		for _, c := range ends {
+			if paths[c] < opts.minPaths() {
+				continue
+			}
+			sum.Instances++
+			sum.TotalFlow += flows[c]
+			if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
+				sum.Truncated = true
+				return sum, nil
+			}
+		}
+	}
+	return sum, nil
+}
+
+// SearchPB finds the pattern's instances using the precomputed path tables
+// (Section 5.2). For decomposable patterns the stored per-path flows are
+// summed directly; for P4 and P6 the tables accelerate instance discovery
+// but each instance's flow is computed on the assembled subgraph, matching
+// the paper's observation that precomputed flows cannot be reused when the
+// paths are not independent in the instance.
+func SearchPB(n *tin.Network, t Tables, p *Pattern, opts Options) (Summary, error) {
+	switch p.Name {
+	case "P1":
+		if t.C2 == nil {
+			return Summary{}, fmt.Errorf("pattern P1: no C2 table precomputed")
+		}
+		return scanTable(t.C2, p, opts), nil
+	case "P2":
+		return scanTable(t.L2, p, opts), nil
+	case "P3":
+		return scanTable(t.L3, p, opts), nil
+	case "P4":
+		return searchP4PB(n, t, opts)
+	case "P5":
+		return searchP5PB(t, opts), nil
+	case "P6":
+		return searchP6PB(n, t, opts)
+	case "RP1":
+		if t.C2 == nil {
+			return Summary{}, fmt.Errorf("pattern RP1: no C2 table precomputed")
+		}
+		return groupChainTable(t.C2, p, opts), nil
+	case "RP2":
+		return groupCycleTable(t.L2, p, opts, false), nil
+	case "RP3":
+		return groupCycleTable(t.L3, p, opts, true), nil
+	default:
+		return Summary{}, fmt.Errorf("pattern %s: no PB plan", p.Name)
+	}
+}
+
+// scanTable handles the patterns that are exactly one table row per
+// instance (P1, P2, P3): a single scan with precomputed flows.
+func scanTable(t *Table, p *Pattern, opts Options) Summary {
+	sum := Summary{Pattern: p.Name}
+	for i := range t.Rows {
+		sum.Instances++
+		sum.TotalFlow += t.Rows[i].Flow
+		if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
+			sum.Truncated = true
+			break
+		}
+	}
+	return sum
+}
+
+// searchP5PB merge-joins L2 and L3 on the anchor (both tables are grouped
+// by ascending anchor) and sums the two precomputed flows of each
+// vertex-disjoint pair — the "easy pattern" plan of Figure 8(a).
+func searchP5PB(t Tables, opts Options) Summary {
+	sum := Summary{Pattern: "P5"}
+	i, j := 0, 0
+	r2, r3 := t.L2.Rows, t.L3.Rows
+	for i < len(r2) && j < len(r3) {
+		a2, a3 := r2[i].Anchor(), r3[j].Anchor()
+		if a2 < a3 {
+			i++
+			continue
+		}
+		if a3 < a2 {
+			j++
+			continue
+		}
+		// Same anchor: cross the two groups.
+		i2 := i
+		for i2 < len(r2) && r2[i2].Anchor() == a2 {
+			j2 := j
+			for j2 < len(r3) && r3[j2].Anchor() == a2 {
+				b := r2[i2].Verts[1]
+				c, d := r3[j2].Verts[1], r3[j2].Verts[2]
+				if b != c && b != d {
+					sum.Instances++
+					sum.TotalFlow += r2[i2].Flow + r3[j2].Flow
+					if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
+						sum.Truncated = true
+						return sum
+					}
+				}
+				j2++
+			}
+			i2++
+		}
+		for i < len(r2) && r2[i].Anchor() == a2 {
+			i++
+		}
+		for j < len(r3) && r3[j].Anchor() == a2 {
+			j++
+		}
+	}
+	return sum
+}
+
+// searchP4PB pairs 3-hop cycles sharing both the anchor and the second
+// vertex (a→b→c→a and a→b→d→a with c < d) into diamond instances; the
+// shared prefix a→b makes the paths dependent, so flows are computed on
+// the assembled instance (Figure 8(b)'s "hard pattern" case).
+func searchP4PB(n *tin.Network, t Tables, opts Options) (Summary, error) {
+	sum := Summary{Pattern: "P4"}
+	var err error
+	t.L3.Anchors(func(a tin.VertexID, rows []Row) {
+		if sum.Truncated || err != nil {
+			return
+		}
+		for x := range rows {
+			for y := range rows {
+				if x == y {
+					continue
+				}
+				if rows[x].Verts[1] != rows[y].Verts[1] {
+					continue // must share b
+				}
+				c, d := rows[x].Verts[2], rows[y].Verts[2]
+				if c >= d {
+					continue // canonical order kills the automorphism
+				}
+				inst := &Instance{
+					V: []tin.VertexID{a, rows[x].Verts[1], c, d},
+					EdgeIDs: []tin.EdgeID{
+						rows[x].Edges[0], // a->b
+						rows[x].Edges[1], // b->c
+						rows[y].Edges[1], // b->d
+						rows[x].Edges[2], // c->a
+						rows[y].Edges[2], // d->a
+					},
+				}
+				f, ferr := InstanceFlow(n, P4, inst, opts.Engine)
+				if ferr != nil {
+					err = ferr
+					return
+				}
+				sum.Instances++
+				sum.TotalFlow += f
+				if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
+					sum.Truncated = true
+					return
+				}
+			}
+		}
+	})
+	return sum, err
+}
+
+// searchP6PB scans L3 and verifies the feedback chord b→a in the graph —
+// the Figure 8(b) plan: precomputed paths locate candidates, the input
+// graph supplies the missing edge, and the flow is computed per instance.
+func searchP6PB(n *tin.Network, t Tables, opts Options) (Summary, error) {
+	sum := Summary{Pattern: "P6"}
+	var err error
+	for i := range t.L3.Rows {
+		r := &t.L3.Rows[i]
+		a, b, c := r.Verts[0], r.Verts[1], r.Verts[2]
+		chord, ok := n.HasEdge(b, a)
+		if !ok {
+			continue
+		}
+		inst := &Instance{
+			V:       []tin.VertexID{a, b, c},
+			EdgeIDs: []tin.EdgeID{r.Edges[0], r.Edges[1], r.Edges[2], chord},
+		}
+		f, ferr := InstanceFlow(n, P6, inst, opts.Engine)
+		if ferr != nil {
+			err = ferr
+			break
+		}
+		sum.Instances++
+		sum.TotalFlow += f
+		if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
+			sum.Truncated = true
+			break
+		}
+	}
+	return sum, err
+}
+
+// groupCycleTable aggregates a cycle table per anchor (RP2/RP3). With
+// disjoint set, rows are admitted greedily in table order, skipping rows
+// that reuse an intermediate vertex — the same deterministic rule the GB
+// searcher applies, so the two agree exactly.
+func groupCycleTable(t *Table, p *Pattern, opts Options, disjoint bool) Summary {
+	sum := Summary{Pattern: p.Name}
+	t.Anchors(func(a tin.VertexID, rows []Row) {
+		if sum.Truncated {
+			return
+		}
+		flow := 0.0
+		count := 0
+		var used map[tin.VertexID]bool
+		if disjoint {
+			used = make(map[tin.VertexID]bool, 2*len(rows))
+		}
+		for i := range rows {
+			if disjoint {
+				skip := false
+				for _, v := range rows[i].Verts[1:] {
+					if used[v] {
+						skip = true
+						break
+					}
+				}
+				if skip {
+					continue
+				}
+				for _, v := range rows[i].Verts[1:] {
+					used[v] = true
+				}
+			}
+			flow += rows[i].Flow
+			count++
+		}
+		if count >= opts.minPaths() {
+			sum.Instances++
+			sum.TotalFlow += flow
+			if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
+				sum.Truncated = true
+			}
+		}
+	})
+	return sum
+}
+
+// groupChainTable aggregates the chain table per (anchor, end) pair (RP1).
+func groupChainTable(t *Table, p *Pattern, opts Options) Summary {
+	sum := Summary{Pattern: p.Name}
+	t.Anchors(func(a tin.VertexID, rows []Row) {
+		if sum.Truncated {
+			return
+		}
+		flows := make(map[tin.VertexID]float64)
+		paths := make(map[tin.VertexID]int)
+		for i := range rows {
+			flows[rows[i].Last()] += rows[i].Flow
+			paths[rows[i].Last()]++
+		}
+		ends := make([]tin.VertexID, 0, len(flows))
+		for c := range flows {
+			ends = append(ends, c)
+		}
+		sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+		for _, c := range ends {
+			if paths[c] < opts.minPaths() {
+				continue
+			}
+			sum.Instances++
+			sum.TotalFlow += flows[c]
+			if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
+				sum.Truncated = true
+				return
+			}
+		}
+	})
+	return sum
+}

@@ -1,0 +1,180 @@
+package pattern
+
+import (
+	"fmt"
+
+	"flownet/internal/tin"
+)
+
+// Row is one precomputed path: Verts lists the path's vertices starting at
+// the anchor (for cycles the closing return to the anchor is implicit),
+// Edges the network edges along it, Flow the path's maximum flow, and Arr
+// the greedy arrival sequence at the path's final vertex (Section 5.2
+// stores exactly this pair of vertex sequence and arrival sequence).
+type Row struct {
+	Verts []tin.VertexID
+	Edges []tin.EdgeID
+	Flow  float64
+	Arr   []tin.Interaction
+}
+
+// Anchor returns the path's starting vertex.
+func (r *Row) Anchor() tin.VertexID { return r.Verts[0] }
+
+// Last returns the path's final distinct vertex (for cycles, the last
+// intermediate before returning to the anchor; for chains, the end vertex).
+func (r *Row) Last() tin.VertexID { return r.Verts[len(r.Verts)-1] }
+
+// Table is a precomputed path table: all cycles (or chains) of a fixed hop
+// count, grouped contiguously by anchor in ascending anchor order — the
+// layout that the merge joins of Section 5.2 rely on.
+type Table struct {
+	Hops   int
+	Cyclic bool
+	Rows   []Row
+
+	index map[tin.VertexID][2]int // anchor -> [begin, end) in Rows
+}
+
+// RowsFor returns the contiguous row group of the given anchor.
+func (t *Table) RowsFor(anchor tin.VertexID) []Row {
+	r, ok := t.index[anchor]
+	if !ok {
+		return nil
+	}
+	return t.Rows[r[0]:r[1]]
+}
+
+// Anchors iterates over the distinct anchors in ascending order.
+func (t *Table) Anchors(fn func(anchor tin.VertexID, rows []Row)) {
+	start := 0
+	for start < len(t.Rows) {
+		a := t.Rows[start].Anchor()
+		end := start
+		for end < len(t.Rows) && t.Rows[end].Anchor() == a {
+			end++
+		}
+		fn(a, t.Rows[start:end])
+		start = end
+	}
+}
+
+// NumInteractions returns the total size of the stored arrival sequences,
+// the dominant storage cost of the table.
+func (t *Table) NumInteractions() int {
+	total := 0
+	for i := range t.Rows {
+		total += len(t.Rows[i].Arr)
+	}
+	return total
+}
+
+func (t *Table) buildIndex() {
+	t.index = make(map[tin.VertexID][2]int)
+	start := 0
+	for start < len(t.Rows) {
+		a := t.Rows[start].Anchor()
+		end := start
+		for end < len(t.Rows) && t.Rows[end].Anchor() == a {
+			end++
+		}
+		t.index[a] = [2]int{start, end}
+		start = end
+	}
+}
+
+// PrecomputeCycles builds the table of all simple cycles of exactly the
+// given hop count (2 → L2: a→b→a; 3 → L3: a→b→c→a), with per-row greedy
+// flows and arrival sequences. Rows are produced anchor by anchor in
+// ascending vertex order, and within an anchor in adjacency (DFS) order —
+// the same deterministic order the graph-browsing searchers use, so GB and
+// PB results are comparable exactly.
+func PrecomputeCycles(n *tin.Network, hops int) *Table {
+	if hops != 2 && hops != 3 {
+		panic(fmt.Sprintf("pattern: unsupported cycle hops %d", hops))
+	}
+	t := &Table{Hops: hops, Cyclic: true}
+	for a := 0; a < n.NumVertices(); a++ {
+		va := tin.VertexID(a)
+		for _, e1 := range n.OutEdges(va) {
+			b := n.Edge(e1).To
+			if b == va {
+				continue
+			}
+			if hops == 2 {
+				if e2, ok := n.HasEdge(b, va); ok {
+					flow, arr := pathArrivals(n, []tin.EdgeID{e1, e2})
+					t.Rows = append(t.Rows, Row{
+						Verts: []tin.VertexID{va, b},
+						Edges: []tin.EdgeID{e1, e2},
+						Flow:  flow, Arr: arr,
+					})
+				}
+				continue
+			}
+			for _, e2 := range n.OutEdges(b) {
+				c := n.Edge(e2).To
+				if c == va || c == b {
+					continue
+				}
+				if e3, ok := n.HasEdge(c, va); ok {
+					flow, arr := pathArrivals(n, []tin.EdgeID{e1, e2, e3})
+					t.Rows = append(t.Rows, Row{
+						Verts: []tin.VertexID{va, b, c},
+						Edges: []tin.EdgeID{e1, e2, e3},
+						Flow:  flow, Arr: arr,
+					})
+				}
+			}
+		}
+	}
+	t.buildIndex()
+	return t
+}
+
+// PrecomputeChains builds the table of all 2-hop chains a→b→c over three
+// distinct vertices (C2), which the paper precomputes for the Prosper
+// Loans dataset only.
+func PrecomputeChains(n *tin.Network) *Table {
+	t := &Table{Hops: 2, Cyclic: false}
+	for a := 0; a < n.NumVertices(); a++ {
+		va := tin.VertexID(a)
+		for _, e1 := range n.OutEdges(va) {
+			b := n.Edge(e1).To
+			for _, e2 := range n.OutEdges(b) {
+				c := n.Edge(e2).To
+				if c == va || c == b {
+					continue
+				}
+				flow, arr := pathArrivals(n, []tin.EdgeID{e1, e2})
+				t.Rows = append(t.Rows, Row{
+					Verts: []tin.VertexID{va, b, c},
+					Edges: []tin.EdgeID{e1, e2},
+					Flow:  flow, Arr: arr,
+				})
+			}
+		}
+	}
+	t.buildIndex()
+	return t
+}
+
+// Tables bundles the precomputed tables used by the PB searcher.
+type Tables struct {
+	L2 *Table // 2-hop cycles
+	L3 *Table // 3-hop cycles
+	C2 *Table // 2-hop chains (optional; nil when not precomputed)
+}
+
+// Precompute builds L2 and L3, and C2 as well when withChains is set
+// (the paper could afford the chain table only on Prosper Loans).
+func Precompute(n *tin.Network, withChains bool) Tables {
+	t := Tables{
+		L2: PrecomputeCycles(n, 2),
+		L3: PrecomputeCycles(n, 3),
+	}
+	if withChains {
+		t.C2 = PrecomputeChains(n)
+	}
+	return t
+}

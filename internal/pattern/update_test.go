@@ -1,0 +1,242 @@
+package pattern
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flownet/internal/core"
+	"flownet/internal/tin"
+)
+
+// interactionRecord lets tests rebuild a grown network deterministically.
+type interactionRecord struct {
+	from, to tin.VertexID
+	t, q     float64
+}
+
+func buildFrom(v int, recs []interactionRecord) *tin.Network {
+	n := tin.NewNetwork(v)
+	for _, r := range recs {
+		n.AddInteraction(r.from, r.to, r.t, r.q)
+	}
+	n.Finalize()
+	return n
+}
+
+// changedEdges returns the ids, in the grown network, of edges touched by
+// the appended records.
+func changedEdges(n *tin.Network, appended []interactionRecord) []tin.EdgeID {
+	seen := make(map[tin.EdgeID]bool)
+	var out []tin.EdgeID
+	for _, r := range appended {
+		if id, ok := n.HasEdge(r.from, r.to); ok && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func tablesEqual(t *testing.T, name string, a, b *Table) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("%s: row counts differ: %d vs %d", name, len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		ra, rb := &a.Rows[i], &b.Rows[i]
+		if len(ra.Verts) != len(rb.Verts) {
+			t.Fatalf("%s row %d: vert lengths differ", name, i)
+		}
+		for j := range ra.Verts {
+			if ra.Verts[j] != rb.Verts[j] {
+				t.Fatalf("%s row %d: verts %v vs %v", name, i, ra.Verts, rb.Verts)
+			}
+		}
+		if math.Abs(ra.Flow-rb.Flow) > 1e-9 {
+			t.Fatalf("%s row %d (%v): flow %g vs %g", name, i, ra.Verts, ra.Flow, rb.Flow)
+		}
+		if len(ra.Arr) != len(rb.Arr) {
+			t.Fatalf("%s row %d: arrival counts differ: %d vs %d", name, i, len(ra.Arr), len(rb.Arr))
+		}
+		for j := range ra.Arr {
+			if ra.Arr[j].Time != rb.Arr[j].Time || math.Abs(ra.Arr[j].Qty-rb.Arr[j].Qty) > 1e-9 {
+				t.Fatalf("%s row %d arrival %d: %v vs %v", name, i, j, ra.Arr[j], rb.Arr[j])
+			}
+		}
+	}
+}
+
+// TestUpdateMatchesFullRecompute grows random networks interaction by
+// interaction batch and checks that the incremental table update equals a
+// from-scratch precomputation (modulo stale absolute Ord values, which are
+// not compared — only times, quantities and flows matter).
+func TestUpdateMatchesFullRecompute(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const v = 12
+		var recs []interactionRecord
+		// Base network: random interactions.
+		for i := 0; i < 40; i++ {
+			a, b := tin.VertexID(rng.Intn(v)), tin.VertexID(rng.Intn(v))
+			if a == b {
+				continue
+			}
+			recs = append(recs, interactionRecord{a, b, float64(rng.Intn(100)), float64(1 + rng.Intn(9))})
+		}
+		base := buildFrom(v, recs)
+		tables := Precompute(base, true)
+
+		// Grow in three batches.
+		for batch := 0; batch < 3; batch++ {
+			var appended []interactionRecord
+			for i := 0; i < 10; i++ {
+				a, b := tin.VertexID(rng.Intn(v)), tin.VertexID(rng.Intn(v))
+				if a == b {
+					continue
+				}
+				appended = append(appended, interactionRecord{a, b, float64(rng.Intn(100)), float64(1 + rng.Intn(9))})
+			}
+			recs = append(recs, appended...)
+			grown := buildFrom(v, recs)
+			tables = tables.Update(grown, changedEdges(grown, appended))
+			fresh := Precompute(grown, true)
+			tablesEqual(t, "L2", tables.L2, fresh.L2)
+			tablesEqual(t, "L3", tables.L3, fresh.L3)
+			tablesEqual(t, "C2", tables.C2, fresh.C2)
+		}
+	}
+}
+
+func TestUpdateNewAnchorAppears(t *testing.T) {
+	// Base: no cycles at all. Append the closing edge of a 2-cycle: the
+	// updated L2 must gain both anchor groups.
+	base := buildFrom(3, []interactionRecord{{0, 1, 1, 5}})
+	tables := Precompute(base, false)
+	if len(tables.L2.Rows) != 0 {
+		t.Fatalf("base should have no cycles")
+	}
+	appended := []interactionRecord{{1, 0, 2, 4}}
+	grown := buildFrom(3, []interactionRecord{{0, 1, 1, 5}, {1, 0, 2, 4}})
+	updated := tables.L2.Update(grown, changedEdges(grown, appended))
+	if len(updated.Rows) != 2 {
+		t.Fatalf("rows=%d, want 2 (anchors 0 and 1)", len(updated.Rows))
+	}
+	if updated.Rows[0].Anchor() != 0 || updated.Rows[1].Anchor() != 1 {
+		t.Errorf("anchor layout wrong: %v", updated.Rows)
+	}
+	if updated.Rows[0].Flow != 4 {
+		t.Errorf("cycle 0→1→0 flow=%g, want 4", updated.Rows[0].Flow)
+	}
+}
+
+func TestUpdateSearchConsistency(t *testing.T) {
+	// After an update, PB search on the updated tables must equal GB on the
+	// grown network for the decomposable patterns.
+	rng := rand.New(rand.NewSource(77))
+	const v = 14
+	var recs []interactionRecord
+	for i := 0; i < 80; i++ {
+		a, b := tin.VertexID(rng.Intn(v)), tin.VertexID(rng.Intn(v))
+		if a == b {
+			continue
+		}
+		recs = append(recs, interactionRecord{a, b, float64(rng.Intn(100)), float64(1 + rng.Intn(9))})
+	}
+	base := buildFrom(v, recs)
+	tables := Precompute(base, true)
+
+	var appended []interactionRecord
+	for i := 0; i < 25; i++ {
+		a, b := tin.VertexID(rng.Intn(v)), tin.VertexID(rng.Intn(v))
+		if a == b {
+			continue
+		}
+		appended = append(appended, interactionRecord{a, b, float64(rng.Intn(100)), float64(1 + rng.Intn(9))})
+	}
+	recs = append(recs, appended...)
+	grown := buildFrom(v, recs)
+	tables = tables.Update(grown, changedEdges(grown, appended))
+
+	opts := Options{Engine: core.EngineLP}
+	for _, p := range []*Pattern{P1, P2, P3, P5, RP1, RP2, RP3} {
+		gb, err := SearchGB(grown, p, opts)
+		if err != nil {
+			t.Fatalf("%s GB: %v", p.Name, err)
+		}
+		pb, err := SearchPB(grown, tables, p, opts)
+		if err != nil {
+			t.Fatalf("%s PB: %v", p.Name, err)
+		}
+		if gb.Instances != pb.Instances || math.Abs(gb.TotalFlow-pb.TotalFlow) > 1e-6*(1+math.Abs(gb.TotalFlow)) {
+			t.Errorf("%s after update: GB=(%d,%g) PB=(%d,%g)",
+				p.Name, gb.Instances, gb.TotalFlow, pb.Instances, pb.TotalFlow)
+		}
+	}
+}
+
+func TestMinPathsConstraint(t *testing.T) {
+	// Anchor 0 has two 2-cycles, anchor 3 has one.
+	n := tin.NewNetwork(5)
+	n.AddInteraction(0, 1, 1, 5)
+	n.AddInteraction(1, 0, 2, 3)
+	n.AddInteraction(0, 2, 3, 4)
+	n.AddInteraction(2, 0, 4, 4)
+	n.AddInteraction(3, 4, 5, 2)
+	n.AddInteraction(4, 3, 6, 2)
+	n.Finalize()
+	tb := Precompute(n, true)
+
+	// MinPaths 2: only anchor 0 qualifies for RP2 (anchors 1, 2, 3, 4 have
+	// one cycle each).
+	opts := Options{MinPaths: 2}
+	gb, err := SearchGB(n, RP2, opts)
+	if err != nil {
+		t.Fatalf("GB: %v", err)
+	}
+	if gb.Instances != 1 {
+		t.Errorf("GB instances=%d, want 1", gb.Instances)
+	}
+	pb, err := SearchPB(n, tb, RP2, opts)
+	if err != nil {
+		t.Fatalf("PB: %v", err)
+	}
+	if pb.Instances != 1 || math.Abs(pb.TotalFlow-gb.TotalFlow) > 1e-9 {
+		t.Errorf("PB=(%d,%g) GB=(%d,%g)", pb.Instances, pb.TotalFlow, gb.Instances, gb.TotalFlow)
+	}
+
+	// MinPaths 3: nothing qualifies.
+	opts.MinPaths = 3
+	gb, _ = SearchGB(n, RP2, opts)
+	pb, _ = SearchPB(n, tb, RP2, opts)
+	if gb.Instances != 0 || pb.Instances != 0 {
+		t.Errorf("MinPaths=3 should yield no instances: GB=%d PB=%d", gb.Instances, pb.Instances)
+	}
+}
+
+func TestMinPathsRelaxedChains(t *testing.T) {
+	// Two chains 0→1→3 and 0→2→3 share the (0,3) endpoint pair.
+	n := tin.NewNetwork(5)
+	n.AddInteraction(0, 1, 1, 5)
+	n.AddInteraction(1, 3, 2, 3)
+	n.AddInteraction(0, 2, 3, 4)
+	n.AddInteraction(2, 3, 4, 2)
+	n.AddInteraction(0, 4, 5, 1) // single chain 0→4→? none
+	n.Finalize()
+	tb := Precompute(n, true)
+	opts := Options{MinPaths: 2}
+	gb, err := SearchGB(n, RP1, opts)
+	if err != nil {
+		t.Fatalf("GB: %v", err)
+	}
+	pb, err := SearchPB(n, tb, RP1, opts)
+	if err != nil {
+		t.Fatalf("PB: %v", err)
+	}
+	if gb.Instances != 1 || pb.Instances != 1 {
+		t.Errorf("instances GB=%d PB=%d, want 1 (pair (0,3) with 2 chains)", gb.Instances, pb.Instances)
+	}
+	if math.Abs(gb.TotalFlow-(3+2)) > 1e-9 {
+		t.Errorf("flow=%g, want 5", gb.TotalFlow)
+	}
+}

@@ -1,0 +1,121 @@
+// Package teg reduces temporal max-flow on an interaction network to a
+// classic static max-flow problem via a time-expanded graph, following the
+// equivalence of Akrida et al. ("Temporal flows in temporal networks",
+// CIAC 2017) that Section 4.2.1 of Kosyfaki et al. invokes: one static node
+// per (vertex, buffer-state) pair, infinite "holdover" arcs modelling the
+// buffer between consecutive events, and one finite arc per interaction.
+//
+// The reduction yields the same optimum as the LP formulation in
+// internal/core and is solved here with Dinic's algorithm; it doubles as an
+// independent oracle for certifying the LP solver in tests.
+package teg
+
+import (
+	"math"
+
+	"flownet/internal/maxflow"
+	"flownet/internal/tin"
+)
+
+// Expanded is a time-expanded static network built from an interaction
+// graph, ready to be solved.
+type Expanded struct {
+	G    *maxflow.Graph
+	S, T int
+	// ArcOf maps each interaction (indexed by canonical Ord) to the static
+	// arc that carries it, so per-interaction transfer amounts can be read
+	// back after solving. Interactions of dead edges map to -1.
+	ArcOf map[int64]int
+}
+
+// Build constructs the time-expanded static network of g. Buffer semantics
+// follow the canonical interaction order of package tin: an interaction can
+// forward only quantity deposited by interactions strictly earlier in that
+// order.
+func Build(g *tin.Graph) *Expanded {
+	events := g.Events()
+
+	// Assign, per intermediate vertex, a dense index to each incident
+	// event (its position in the vertex's own event timeline).
+	type slot struct{ base, count int } // base static-node id of state 0
+	slots := make(map[tin.VertexID]*slot)
+	posOf := make(map[int64][2]int) // Ord -> positions at (from, to); -1 if N/A
+	countOf := make(map[tin.VertexID]int)
+	for _, ev := range events {
+		// An event incident to two intermediate vertices occupies one
+		// position in each vertex's own timeline.
+		pf, pt := -1, -1
+		if ev.From != g.Source && ev.From != g.Sink {
+			pf = countOf[ev.From]
+			countOf[ev.From] = pf + 1
+		}
+		if ev.To != g.Sink && ev.To != g.Source {
+			pt = countOf[ev.To]
+			countOf[ev.To] = pt + 1
+		}
+		posOf[ev.Ord] = [2]int{pf, pt}
+	}
+
+	// Static node layout: 0 = super source, 1 = super sink, then per
+	// intermediate vertex its buffer states 0..count (count+1 nodes).
+	n := 2
+	for v, k := range countOf {
+		slots[v] = &slot{base: n, count: k}
+		n += k + 1
+	}
+	sg := maxflow.NewGraph(n)
+	// Holdover arcs between consecutive buffer states.
+	for _, sl := range slots {
+		for i := 0; i < sl.count; i++ {
+			sg.AddArc(sl.base+i, sl.base+i+1, math.Inf(1))
+		}
+	}
+	arcOf := make(map[int64]int, len(events))
+	for _, ev := range events {
+		var from, to int
+		p := posOf[ev.Ord]
+		switch {
+		case ev.From == g.Source:
+			from = 0
+		default:
+			from = slots[ev.From].base + p[0] // buffer state before this event
+		}
+		switch {
+		case ev.To == g.Sink:
+			to = 1
+		default:
+			to = slots[ev.To].base + p[1] + 1 // buffer state after this event
+		}
+		arcOf[ev.Ord] = sg.AddArc(from, to, ev.Qty)
+	}
+	return &Expanded{G: sg, S: 0, T: 1, ArcOf: arcOf}
+}
+
+// MaxFlow computes the temporal maximum flow of g by building the
+// time-expanded network and running Dinic. It returns math.Inf(1) when an
+// infinite-capacity source-to-sink channel exists (possible only with
+// synthetic infinite-quantity interactions).
+func MaxFlow(g *tin.Graph) float64 {
+	ex := Build(g)
+	return ex.G.Dinic(ex.S, ex.T)
+}
+
+// MaxFlowEdmondsKarp is MaxFlow solved with Edmonds–Karp instead of Dinic;
+// it exists for cross-validation and for the complexity ablation benches
+// (the paper cites the quadratic Edmonds–Karp bound for this reduction).
+func MaxFlowEdmondsKarp(g *tin.Graph) float64 {
+	ex := Build(g)
+	return ex.G.EdmondsKarp(ex.S, ex.T)
+}
+
+// Transfers solves the expanded network and returns, per interaction Ord,
+// the quantity the optimal solution moves through that interaction.
+func Transfers(g *tin.Graph) (total float64, byOrd map[int64]float64) {
+	ex := Build(g)
+	total = ex.G.Dinic(ex.S, ex.T)
+	byOrd = make(map[int64]float64, len(ex.ArcOf))
+	for ord, arc := range ex.ArcOf {
+		byOrd[ord] = ex.G.Flow(arc)
+	}
+	return total, byOrd
+}

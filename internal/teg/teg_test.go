@@ -1,0 +1,122 @@
+package teg
+
+import (
+	"math"
+	"testing"
+
+	"flownet/internal/tin"
+)
+
+func figure3() *tin.Graph {
+	g := tin.NewGraph(4, 0, 3)
+	g.AddSeq(g.AddEdge(0, 1), [2]float64{1, 5})
+	g.AddSeq(g.AddEdge(0, 2), [2]float64{2, 3})
+	g.AddSeq(g.AddEdge(1, 2), [2]float64{3, 5})
+	g.AddSeq(g.AddEdge(1, 3), [2]float64{4, 4})
+	g.AddSeq(g.AddEdge(2, 3), [2]float64{5, 1})
+	g.Finalize()
+	return g
+}
+
+func TestFigure3MaxFlow(t *testing.T) {
+	g := figure3()
+	if f := MaxFlow(g); f != 5 {
+		t.Errorf("MaxFlow=%g, want 5", f)
+	}
+	if f := MaxFlowEdmondsKarp(g); f != 5 {
+		t.Errorf("MaxFlowEdmondsKarp=%g, want 5", f)
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	g := figure3()
+	ex := Build(g)
+	// One arc per interaction.
+	if len(ex.ArcOf) != 5 {
+		t.Errorf("ArcOf has %d entries, want 5", len(ex.ArcOf))
+	}
+	// Node count: super source + super sink + per intermediate vertex
+	// (y and z, 3 incident events each) 4 states = 2 + 8.
+	if n := ex.G.NumVertices(); n != 10 {
+		t.Errorf("expanded vertices = %d, want 10", n)
+	}
+	// Arcs: 5 interactions + 3 holdovers per intermediate vertex * 2.
+	if a := ex.G.NumArcs(); a != 11 {
+		t.Errorf("expanded arcs = %d, want 11", a)
+	}
+}
+
+func TestTransfersRespectOrder(t *testing.T) {
+	// y receives 5 at t=1 and must split it between (3,5) and (4,4) to
+	// maximize; the transfer on (3,5) must be 1 and on (4,4) must be 4.
+	g := figure3()
+	total, byOrd := Transfers(g)
+	if total != 5 {
+		t.Fatalf("total=%g, want 5", total)
+	}
+	evs := g.Events()
+	// events: (1,5) s->y, (2,3) s->z, (3,5) y->z, (4,4) y->t, (5,1) z->t
+	want := []float64{5, 3, 1, 4, 1}
+	for i, ev := range evs {
+		// s->z's transfer is 3 in capacity but only 1 is useful; max-flow
+		// solutions may or may not route the useless 2, so only check the
+		// constrained entries.
+		if i == 1 {
+			if byOrd[ev.Ord] > want[i]+1e-9 {
+				t.Errorf("event %d transfer %g > cap %g", i, byOrd[ev.Ord], want[i])
+			}
+			continue
+		}
+		if math.Abs(byOrd[ev.Ord]-want[i]) > 1e-9 {
+			t.Errorf("event %d transfer %g, want %g", i, byOrd[ev.Ord], want[i])
+		}
+	}
+}
+
+func TestStrictOrderSemantics(t *testing.T) {
+	// A deposit and a withdrawal at the same timestamp: the withdrawal
+	// inserted earlier in input order cannot use the later deposit, the one
+	// inserted later can.
+	g := tin.NewGraph(3, 0, 2)
+	e01 := g.AddEdge(0, 1)
+	e12 := g.AddEdge(1, 2)
+	g.AddInteraction(e12, 5, 4) // inserted first: precedes the deposit
+	g.AddInteraction(e01, 5, 4) // deposit at the same timestamp
+	g.Finalize()
+	if f := MaxFlow(g); f != 0 {
+		t.Errorf("MaxFlow=%g, want 0 (withdrawal precedes deposit)", f)
+	}
+
+	h := tin.NewGraph(3, 0, 2)
+	f01 := h.AddEdge(0, 1)
+	f12 := h.AddEdge(1, 2)
+	h.AddInteraction(f01, 5, 4) // deposit inserted first
+	h.AddInteraction(f12, 5, 4)
+	h.Finalize()
+	if f := MaxFlow(h); f != 4 {
+		t.Errorf("MaxFlow=%g, want 4 (deposit precedes withdrawal)", f)
+	}
+}
+
+func TestInfiniteSyntheticChannel(t *testing.T) {
+	// source -> v -> sink where both edges carry infinite quantity: the
+	// temporal max flow is infinite.
+	g := tin.NewGraph(3, 0, 2)
+	a := g.AddEdge(0, 1)
+	b := g.AddEdge(1, 2)
+	g.AddInteraction(a, math.Inf(-1), math.Inf(1))
+	g.AddInteraction(b, math.Inf(1), math.Inf(1))
+	g.Finalize()
+	if f := MaxFlow(g); !math.IsInf(f, 1) {
+		t.Errorf("MaxFlow=%g, want +inf", f)
+	}
+}
+
+func TestDirectSourceSinkEdge(t *testing.T) {
+	g := tin.NewGraph(2, 0, 1)
+	g.AddSeq(g.AddEdge(0, 1), [2]float64{1, 3}, [2]float64{2, 4})
+	g.Finalize()
+	if f := MaxFlow(g); f != 7 {
+		t.Errorf("MaxFlow=%g, want 7", f)
+	}
+}

@@ -1,0 +1,299 @@
+package tin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ExtractOptions control seed-based subgraph extraction (Section 6.2 of the
+// paper).
+type ExtractOptions struct {
+	// MaxHops is the maximum length of a returning path from the seed back
+	// to itself. The paper uses 3.
+	MaxHops int
+	// MaxInteractions discards subgraphs with more interactions than this.
+	// The paper discards subgraphs over 10000 interactions. Zero means no
+	// limit.
+	MaxInteractions int
+}
+
+// DefaultExtractOptions mirror the paper's setup: paths up to three hops,
+// subgraphs over 10K interactions discarded.
+func DefaultExtractOptions() ExtractOptions {
+	return ExtractOptions{MaxHops: 3, MaxInteractions: 10000}
+}
+
+// ExtractSubgraph builds the flow-computation subgraph around a seed vertex
+// as described in Section 6.2: it enumerates all simple paths of length up
+// to opts.MaxHops that leave the seed, pass through other vertices and
+// return to the seed, and merges the edges along those paths into one
+// subgraph. The seed is split into a source (receiving the seed's outgoing
+// edges) and a sink (receiving its incoming edges), cf. Figure 10.
+//
+// The paper's flow machinery requires DAG inputs, but a union of returning
+// paths can contain 2-cycles between intermediate vertices (x→y from one
+// path and y→x from another). Paths are therefore admitted in deterministic
+// adjacency order and a path is skipped if adding its edges would create a
+// cycle among intermediate vertices; this choice is documented in DESIGN.md.
+//
+// ExtractSubgraph returns (nil, false) if the seed has no returning path,
+// or if the subgraph exceeds opts.MaxInteractions interactions.
+func (n *Network) ExtractSubgraph(seed VertexID, opts ExtractOptions) (*Graph, bool) {
+	if !n.finalized {
+		panic("tin: ExtractSubgraph before Finalize")
+	}
+	if opts.MaxHops < 2 {
+		panic(fmt.Sprintf("tin: MaxHops must be >= 2, got %d", opts.MaxHops))
+	}
+
+	// Collect candidate returning paths as slices of edge ids, in
+	// deterministic DFS order over adjacency lists.
+	var paths [][]EdgeID
+	var dfs func(v VertexID, depth int, edges []EdgeID, onPath map[VertexID]bool)
+	dfs = func(v VertexID, depth int, edges []EdgeID, onPath map[VertexID]bool) {
+		for _, e := range n.out[v] {
+			u := n.edges[e].To
+			if u == seed {
+				if depth >= 1 { // at least one intermediate vertex
+					p := make([]EdgeID, len(edges)+1)
+					copy(p, edges)
+					p[len(edges)] = e
+					paths = append(paths, p)
+				}
+				continue
+			}
+			if depth+1 >= opts.MaxHops || onPath[u] {
+				continue
+			}
+			onPath[u] = true
+			dfs(u, depth+1, append(edges, e), onPath)
+			delete(onPath, u)
+		}
+	}
+	dfs(seed, 0, nil, map[VertexID]bool{seed: true})
+	if len(paths) == 0 {
+		return nil, false
+	}
+
+	// Admit paths one by one, skipping any path whose inner edges would
+	// close a directed cycle among intermediate vertices.
+	inner := newTinyDigraph()
+	edgeSet := make(map[EdgeID]bool)
+	for _, p := range paths {
+		ok := true
+		// Inner edges of the path are all but the first and last.
+		for i := 1; i < len(p)-1; i++ {
+			e := &n.edges[p[i]]
+			if inner.createsCycle(e.From, e.To) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for i := 1; i < len(p)-1; i++ {
+			e := &n.edges[p[i]]
+			inner.add(e.From, e.To)
+		}
+		for _, id := range p {
+			edgeSet[id] = true
+		}
+	}
+	if len(edgeSet) == 0 {
+		return nil, false
+	}
+
+	ids := make([]EdgeID, 0, len(edgeSet))
+	total := 0
+	for id := range edgeSet {
+		ids = append(ids, id)
+		total += len(n.edges[id].Seq)
+	}
+	if opts.MaxInteractions > 0 && total > opts.MaxInteractions {
+		return nil, false
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return n.BuildFlowGraph(ids, seed, seed), true
+}
+
+// BuildFlowGraph assembles a flow-computation Graph from a set of network
+// edges with the given source and sink network vertices. If source == sink,
+// the vertex is split: its outgoing edges attach to the graph source and
+// its incoming edges to the graph sink (Section 6.2 / Figure 10). The
+// graph's interactions inherit the network's canonical order, so tie
+// breaking is consistent with the full network. The returned graph is
+// finalized.
+func (n *Network) BuildFlowGraph(edgeIDs []EdgeID, source, sink VertexID) *Graph {
+	// Map network vertices to dense local ids: source 0, sink 1, inner 2+.
+	local := make(map[VertexID]VertexID)
+	nv := VertexID(2)
+	mapInner := func(v VertexID) VertexID {
+		if id, ok := local[v]; ok {
+			return id
+		}
+		id := nv
+		local[v] = id
+		nv++
+		return id
+	}
+	type iaRef struct {
+		ia       Interaction
+		from, to VertexID // local ids
+		edge     EdgeID   // network edge, for grouping
+	}
+	var refs []iaRef
+	for _, id := range edgeIDs {
+		e := &n.edges[id]
+		var lf, lt VertexID
+		if e.From == source {
+			lf = 0
+		} else if e.From == sink && source != sink {
+			lf = 1 // edge leaving the sink vertex: keep attached (caller's duty to avoid)
+		} else {
+			lf = mapInner(e.From)
+		}
+		if e.To == sink {
+			lt = 1
+		} else if e.To == source && source != sink {
+			lt = 0
+		} else {
+			lt = mapInner(e.To)
+		}
+		for _, ia := range e.Seq {
+			refs = append(refs, iaRef{ia: ia, from: lf, to: lt, edge: id})
+		}
+	}
+	// Insert in network canonical order so the graph's tie-break order
+	// matches the network's.
+	sort.Slice(refs, func(a, b int) bool { return refs[a].ia.Ord < refs[b].ia.Ord })
+
+	g := NewGraph(int(nv), 0, 1)
+	edgeOf := make(map[EdgeID]EdgeID, len(edgeIDs))
+	for _, r := range refs {
+		ge, ok := edgeOf[r.edge]
+		if !ok {
+			ge = g.AddEdge(r.from, r.to)
+			edgeOf[r.edge] = ge
+		}
+		g.AddInteraction(ge, r.ia.Time, r.ia.Qty)
+	}
+	g.Finalize()
+	return g
+}
+
+// FlowSubgraphBetween builds the flow instance between two distinct network
+// vertices: the subgraph induced by vertices lying on some directed path
+// from source to sink, with edges entering the source or leaving the sink
+// dropped (per the problem statement they cannot contribute to the flow —
+// the source only emits and the sink only absorbs). Returns (nil, false)
+// if the sink is unreachable from the source. The result may be cyclic;
+// Greedy, the LP and the time-expanded engine handle cycles, while the
+// Pre/PreSim pipelines require DAGs.
+func (n *Network) FlowSubgraphBetween(source, sink VertexID) (*Graph, bool) {
+	if !n.finalized {
+		panic("tin: FlowSubgraphBetween before Finalize")
+	}
+	if source == sink {
+		panic("tin: source equals sink; use ExtractSubgraph for returning-path flow")
+	}
+	// Reachability is computed on the modified graph in which edges into
+	// the source and out of the sink are already absent — otherwise a
+	// vertex whose only route to the sink passes through the source would
+	// be falsely admitted.
+	fwd := n.reach(source, false, source, sink)
+	bwd := n.reach(sink, true, source, sink)
+	var ids []EdgeID
+	for e := range n.edges {
+		ed := &n.edges[e]
+		if ed.From == sink || ed.To == source {
+			continue
+		}
+		if fwd[ed.From] && bwd[ed.From] && fwd[ed.To] && bwd[ed.To] {
+			ids = append(ids, EdgeID(e))
+		}
+	}
+	if len(ids) == 0 {
+		return nil, false
+	}
+	g := n.BuildFlowGraph(ids, source, sink)
+	if g.InDegree(g.Source) != 0 || g.OutDegree(g.Sink) != 0 || g.OutDegree(g.Source) == 0 {
+		return nil, false
+	}
+	return g, true
+}
+
+// reach returns the set of vertices reachable from v (backward: reaching
+// v), ignoring edges into source and edges out of sink.
+func (n *Network) reach(v VertexID, backward bool, source, sink VertexID) map[VertexID]bool {
+	seen := map[VertexID]bool{v: true}
+	stack := []VertexID{v}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var edges []EdgeID
+		if backward {
+			edges = n.in[x]
+		} else {
+			edges = n.out[x]
+		}
+		for _, e := range edges {
+			ed := &n.edges[e]
+			if ed.To == source || ed.From == sink {
+				continue
+			}
+			u := ed.To
+			if backward {
+				u = ed.From
+			}
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return seen
+}
+
+// tinyDigraph is a small adjacency-set digraph used for incremental cycle
+// checks during subgraph extraction.
+type tinyDigraph struct {
+	succ map[VertexID]map[VertexID]bool
+}
+
+func newTinyDigraph() *tinyDigraph {
+	return &tinyDigraph{succ: make(map[VertexID]map[VertexID]bool)}
+}
+
+func (d *tinyDigraph) add(a, b VertexID) {
+	s := d.succ[a]
+	if s == nil {
+		s = make(map[VertexID]bool)
+		d.succ[a] = s
+	}
+	s[b] = true
+}
+
+// createsCycle reports whether adding edge a→b would close a directed cycle,
+// i.e. whether b currently reaches a.
+func (d *tinyDigraph) createsCycle(a, b VertexID) bool {
+	if a == b {
+		return true
+	}
+	seen := map[VertexID]bool{b: true}
+	stack := []VertexID{b}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == a {
+			return true
+		}
+		for u := range d.succ[v] {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return false
+}

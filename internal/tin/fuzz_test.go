@@ -1,0 +1,60 @@
+package tin
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadNetwork checks that the parser never panics on arbitrary input
+// and that whatever it accepts round-trips losslessly.
+func FuzzReadNetwork(f *testing.F) {
+	f.Add("0 1 1.5 2.5\n1 2 3 4\n")
+	f.Add("# vertices 10\n0 1 1 1\n")
+	f.Add("")
+	f.Add("0 1 1 1\n0 1 1 1\n0 1 1 1\n")
+	f.Add("3 3 5 5\n")  // self loop: ignored
+	f.Add("0 1 -3 4\n") // negative time is legal
+	f.Add("not a line\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		n, err := ReadNetwork(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteNetwork(&buf, n); err != nil {
+			t.Fatalf("WriteNetwork after successful read: %v", err)
+		}
+		m, err := ReadNetwork(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written network: %v", err)
+		}
+		if m.NumEdges() != n.NumEdges() || m.NumInteractions() != n.NumInteractions() {
+			t.Fatalf("round trip changed shape: %+v vs %+v", m.Stats(), n.Stats())
+		}
+	})
+}
+
+// FuzzExtractSubgraph checks that extraction on arbitrary parsed networks
+// always yields valid DAG flow instances.
+func FuzzExtractSubgraph(f *testing.F) {
+	f.Add("0 1 1 5\n1 0 2 4\n1 2 3 3\n2 0 4 2\n", uint16(0))
+	f.Add("0 1 1 1\n1 2 2 1\n2 3 3 1\n3 0 4 1\n", uint16(3))
+	f.Fuzz(func(t *testing.T, data string, seed uint16) {
+		n, err := ReadNetwork(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		v := VertexID(int(seed) % n.NumVertices())
+		g, ok := n.ExtractSubgraph(v, DefaultExtractOptions())
+		if !ok {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("extracted subgraph invalid: %v\n%s", err, g)
+		}
+		if !g.IsDAG() {
+			t.Fatalf("extracted subgraph cyclic:\n%s", g)
+		}
+	})
+}

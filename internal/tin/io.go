@@ -1,0 +1,175 @@
+package tin
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The on-disk interaction format is one interaction per line:
+//
+//	from to time qty
+//
+// with whitespace-separated integer vertex ids and float time/quantity.
+// Lines starting with '#' are comments; a "# vertices N" comment presizes
+// the network. Files ending in ".gz" are gzip-compressed.
+
+// WriteNetwork writes the network to w in the interaction text format,
+// in canonical interaction order.
+func WriteNetwork(w io.Writer, n *Network) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# vertices %d\n", n.numV); err != nil {
+		return err
+	}
+	// Emit in canonical order so that reloading reproduces the same
+	// tie-break order (Ord is re-derived from (time, line order) at load).
+	rows := make([]ioRow, 0, n.numIA)
+	for e := range n.edges {
+		ed := &n.edges[e]
+		for _, ia := range ed.Seq {
+			rows = append(rows, ioRow{ed.From, ed.To, ia})
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].ia.Ord < rows[b].ia.Ord })
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(bw, "%d %d %g %g\n", r.from, r.to, r.ia.Time, r.ia.Qty); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ioRow pairs an interaction with its edge endpoints for serialization.
+type ioRow struct {
+	from, to VertexID
+	ia       Interaction
+}
+
+// SaveNetwork writes the network to the named file, gzip-compressed if the
+// name ends in ".gz".
+func SaveNetwork(path string, n *Network) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := WriteNetwork(w, n); err != nil {
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}
+
+// ReadNetwork parses the interaction text format. Vertex ids may appear in
+// any order; the vertex count is max(id)+1 unless a larger "# vertices N"
+// header is present. The returned network is finalized.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	type line struct {
+		from, to VertexID
+		t, q     float64
+	}
+	var lines []line
+	declared := -1
+	maxID := VertexID(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" {
+			continue
+		}
+		if strings.HasPrefix(txt, "#") {
+			var nv int
+			if _, err := fmt.Sscanf(txt, "# vertices %d", &nv); err == nil {
+				declared = nv
+			}
+			continue
+		}
+		f := strings.Fields(txt)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("tin: line %d: want 4 fields, got %d", lineNo, len(f))
+		}
+		from, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("tin: line %d: bad from id: %v", lineNo, err)
+		}
+		to, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("tin: line %d: bad to id: %v", lineNo, err)
+		}
+		t, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tin: line %d: bad time: %v", lineNo, err)
+		}
+		q, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tin: line %d: bad quantity: %v", lineNo, err)
+		}
+		if from < 0 || to < 0 {
+			return nil, fmt.Errorf("tin: line %d: negative vertex id", lineNo)
+		}
+		if q < 0 {
+			return nil, fmt.Errorf("tin: line %d: negative quantity %g", lineNo, q)
+		}
+		lines = append(lines, line{VertexID(from), VertexID(to), t, q})
+		if VertexID(from) > maxID {
+			maxID = VertexID(from)
+		}
+		if VertexID(to) > maxID {
+			maxID = VertexID(to)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	nv := int(maxID) + 1
+	if declared > nv {
+		nv = declared
+	}
+	if nv == 0 {
+		return nil, fmt.Errorf("tin: empty network file")
+	}
+	n := NewNetwork(nv)
+	for _, l := range lines {
+		n.AddInteraction(l.from, l.to, l.t, l.q)
+	}
+	n.Finalize()
+	return n, nil
+}
+
+// LoadNetwork reads a network from the named file, transparently
+// decompressing ".gz" files.
+func LoadNetwork(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return ReadNetwork(r)
+}

@@ -1,0 +1,173 @@
+package tin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Network is a whole interaction network (Definition 1 of the paper): a
+// directed multigraph over dense vertex ids with an interaction sequence on
+// every edge. It is append-oriented and, once finalized, immutable; flow is
+// computed on subgraphs extracted from it (ExtractSubgraph, or the pattern
+// matchers in internal/pattern).
+type Network struct {
+	numV  int
+	edges []Edge
+
+	out [][]EdgeID
+	in  [][]EdgeID
+
+	// edgeIdx maps (from<<32 | to) to the edge id, for O(1) edge lookup.
+	// Parallel edges are collapsed at load time: AddInteraction on an
+	// existing (from,to) pair appends to the existing edge's sequence.
+	edgeIdx map[int64]EdgeID
+
+	numIA     int
+	nextOrd   int64
+	finalized bool
+}
+
+// NewNetwork creates an empty network with numV vertices.
+func NewNetwork(numV int) *Network {
+	return &Network{
+		numV:    numV,
+		out:     make([][]EdgeID, numV),
+		in:      make([][]EdgeID, numV),
+		edgeIdx: make(map[int64]EdgeID),
+	}
+}
+
+func pairKey(from, to VertexID) int64 { return int64(from)<<32 | int64(uint32(to)) }
+
+// NumVertices returns the number of vertices.
+func (n *Network) NumVertices() int { return n.numV }
+
+// NumEdges returns the number of distinct (from, to) edges.
+func (n *Network) NumEdges() int { return len(n.edges) }
+
+// NumInteractions returns the total number of interactions.
+func (n *Network) NumInteractions() int { return n.numIA }
+
+// Edge returns the edge with the given id.
+func (n *Network) Edge(e EdgeID) *Edge { return &n.edges[e] }
+
+// AddInteraction records that quantity q flowed from -> to at time t,
+// creating the edge if necessary. Self loops are ignored (they cannot
+// affect any flow between distinct vertices) and reported as false.
+func (n *Network) AddInteraction(from, to VertexID, t, q float64) bool {
+	if n.finalized {
+		panic("tin: AddInteraction after Finalize")
+	}
+	if from == to {
+		return false
+	}
+	if from < 0 || int(from) >= n.numV || to < 0 || int(to) >= n.numV {
+		panic(fmt.Sprintf("tin: interaction (%d,%d) out of vertex range [0,%d)", from, to, n.numV))
+	}
+	if q < 0 || math.IsNaN(q) || math.IsNaN(t) || math.IsInf(t, 0) || math.IsInf(q, 0) {
+		panic(fmt.Sprintf("tin: invalid interaction (%v,%v)", t, q))
+	}
+	key := pairKey(from, to)
+	id, ok := n.edgeIdx[key]
+	if !ok {
+		id = EdgeID(len(n.edges))
+		n.edges = append(n.edges, Edge{From: from, To: to})
+		n.edgeIdx[key] = id
+		n.out[from] = append(n.out[from], id)
+		n.in[to] = append(n.in[to], id)
+	}
+	n.edges[id].Seq = append(n.edges[id].Seq, Interaction{Time: t, Qty: q, Ord: n.nextOrd})
+	n.nextOrd++
+	n.numIA++
+	return true
+}
+
+// Finalize assigns the canonical order to all interactions and sorts every
+// edge sequence. Must be called once before the network is queried.
+func (n *Network) Finalize() {
+	if n.finalized {
+		panic("tin: Finalize called twice")
+	}
+	n.finalized = true
+	type ref struct {
+		e EdgeID
+		i int32
+	}
+	refs := make([]ref, 0, n.numIA)
+	for e := range n.edges {
+		for i := range n.edges[e].Seq {
+			refs = append(refs, ref{EdgeID(e), int32(i)})
+		}
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		ia := n.edges[refs[a].e].Seq[refs[a].i]
+		ib := n.edges[refs[b].e].Seq[refs[b].i]
+		if ia.Time != ib.Time {
+			return ia.Time < ib.Time
+		}
+		return ia.Ord < ib.Ord
+	})
+	for ord, r := range refs {
+		n.edges[r.e].Seq[r.i].Ord = int64(ord)
+	}
+	for e := range n.edges {
+		seq := n.edges[e].Seq
+		sort.Slice(seq, func(a, b int) bool { return seq[a].Ord < seq[b].Ord })
+	}
+}
+
+// Finalized reports whether Finalize has been called.
+func (n *Network) Finalized() bool { return n.finalized }
+
+// HasEdge reports whether an edge from -> to exists, and returns its id.
+func (n *Network) HasEdge(from, to VertexID) (EdgeID, bool) {
+	id, ok := n.edgeIdx[pairKey(from, to)]
+	return id, ok
+}
+
+// OutEdges returns the ids of the outgoing edges of v. The returned slice
+// is owned by the network and must not be modified.
+func (n *Network) OutEdges(v VertexID) []EdgeID { return n.out[v] }
+
+// InEdges returns the ids of the incoming edges of v. The returned slice is
+// owned by the network and must not be modified.
+func (n *Network) InEdges(v VertexID) []EdgeID { return n.in[v] }
+
+// OutDegree returns the number of distinct successors of v.
+func (n *Network) OutDegree(v VertexID) int { return len(n.out[v]) }
+
+// InDegree returns the number of distinct predecessors of v.
+func (n *Network) InDegree(v VertexID) int { return len(n.in[v]) }
+
+// AvgQty returns the mean interaction quantity over the whole network
+// (the "avg. flow" column of the paper's Table 4 reports per-dataset
+// average transferred quantity).
+func (n *Network) AvgQty() float64 {
+	if n.numIA == 0 {
+		return 0
+	}
+	var s float64
+	for e := range n.edges {
+		s += n.edges[e].TotalQty()
+	}
+	return s / float64(n.numIA)
+}
+
+// Stats summarizes a network in the shape of the paper's Table 4.
+type Stats struct {
+	Vertices     int
+	Edges        int
+	Interactions int
+	AvgQty       float64
+}
+
+// Stats returns the network's summary statistics.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Vertices:     n.numV,
+		Edges:        len(n.edges),
+		Interactions: n.numIA,
+		AvgQty:       n.AvgQty(),
+	}
+}

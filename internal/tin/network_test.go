@@ -1,0 +1,389 @@
+package tin
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// figure2Network builds the transaction network of the paper's Figure 2(a):
+// u1->u2 (2,5),(4,3),(8,1); u2->u3 (3,4),(5,2); u3->u1 (1,2),(6,5);
+// u3->u4 (9,4); u4->u1 (7,6); u2->u4 (10,1).
+// Vertices: u1=0, u2=1, u3=2, u4=3.
+func figure2Network() *Network {
+	n := NewNetwork(4)
+	n.AddInteraction(0, 1, 2, 5)
+	n.AddInteraction(0, 1, 4, 3)
+	n.AddInteraction(0, 1, 8, 1)
+	n.AddInteraction(1, 2, 3, 4)
+	n.AddInteraction(1, 2, 5, 2)
+	n.AddInteraction(2, 0, 1, 2)
+	n.AddInteraction(2, 0, 6, 5)
+	n.AddInteraction(2, 3, 9, 4)
+	n.AddInteraction(3, 0, 7, 6)
+	n.AddInteraction(1, 3, 10, 1)
+	n.Finalize()
+	return n
+}
+
+func TestNetworkBasics(t *testing.T) {
+	n := figure2Network()
+	if n.NumVertices() != 4 {
+		t.Errorf("vertices=%d, want 4", n.NumVertices())
+	}
+	if n.NumEdges() != 6 {
+		t.Errorf("edges=%d, want 6", n.NumEdges())
+	}
+	if n.NumInteractions() != 10 {
+		t.Errorf("interactions=%d, want 10", n.NumInteractions())
+	}
+	if id, ok := n.HasEdge(0, 1); !ok || len(n.Edge(id).Seq) != 3 {
+		t.Errorf("edge u1->u2 wrong")
+	}
+	if _, ok := n.HasEdge(1, 0); ok {
+		t.Errorf("edge u2->u1 should not exist")
+	}
+	if n.OutDegree(1) != 2 || n.InDegree(0) != 2 {
+		t.Errorf("degrees wrong: out(u2)=%d in(u1)=%d", n.OutDegree(1), n.InDegree(0))
+	}
+	st := n.Stats()
+	if st.Vertices != 4 || st.Edges != 6 || st.Interactions != 10 {
+		t.Errorf("stats wrong: %+v", st)
+	}
+	wantAvg := (5.0 + 3 + 1 + 4 + 2 + 2 + 5 + 4 + 6 + 1) / 10
+	if math.Abs(st.AvgQty-wantAvg) > 1e-12 {
+		t.Errorf("avg qty %g, want %g", st.AvgQty, wantAvg)
+	}
+}
+
+func TestNetworkSelfLoopIgnored(t *testing.T) {
+	n := NewNetwork(2)
+	if n.AddInteraction(1, 1, 1, 5) {
+		t.Errorf("self loop accepted")
+	}
+	n.AddInteraction(0, 1, 1, 5)
+	n.Finalize()
+	if n.NumEdges() != 1 || n.NumInteractions() != 1 {
+		t.Errorf("self loop recorded: E=%d IA=%d", n.NumEdges(), n.NumInteractions())
+	}
+}
+
+func TestNetworkValidationPanics(t *testing.T) {
+	n := NewNetwork(2)
+	for _, c := range []struct {
+		name     string
+		from, to VertexID
+		tm, q    float64
+	}{
+		{"out of range", 0, 5, 1, 1},
+		{"negative qty", 0, 1, 1, -2},
+		{"inf time", 0, 1, math.Inf(1), 1},
+		{"nan qty", 0, 1, 1, math.NaN()},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			n.AddInteraction(c.from, c.to, c.tm, c.q)
+		})
+	}
+}
+
+func TestNetworkCanonicalOrder(t *testing.T) {
+	n := NewNetwork(3)
+	n.AddInteraction(0, 1, 5, 1) // tie at t=5: first inserted wins
+	n.AddInteraction(1, 2, 5, 2)
+	n.AddInteraction(0, 1, 1, 3)
+	n.Finalize()
+	e01, _ := n.HasEdge(0, 1)
+	e12, _ := n.HasEdge(1, 2)
+	seq01 := n.Edge(e01).Seq
+	if seq01[0].Qty != 3 || seq01[0].Ord != 0 {
+		t.Errorf("first interaction should be (1,3) with Ord 0: %+v", seq01[0])
+	}
+	if seq01[1].Ord != 1 {
+		t.Errorf("(5,1) should have Ord 1, got %d", seq01[1].Ord)
+	}
+	if n.Edge(e12).Seq[0].Ord != 2 {
+		t.Errorf("(5,2) should have Ord 2, got %d", n.Edge(e12).Seq[0].Ord)
+	}
+}
+
+func TestExtractSubgraphFigure2(t *testing.T) {
+	n := figure2Network()
+	// Seed u1: returning paths up to 3 hops:
+	//   u1->u2->u3->u1 (3 hops)
+	// 2-hop cycles: none (no u2->u1).
+	// Also u1->u2->u4? u4->u1 exists: u1->u2 (10,1 edge u2->u4) -> u4->u1: 3-hop.
+	g, ok := n.ExtractSubgraph(0, DefaultExtractOptions())
+	if !ok {
+		t.Fatalf("no subgraph extracted")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !g.IsDAG() {
+		t.Fatalf("extracted subgraph is not a DAG")
+	}
+	// Expect vertices: s, t, u2, u3, u4 = 5; edges: s->u2, u2->u3, u3->t,
+	// u2->u4, u4->t = 5; interactions: 3+2+2+1+1 = 9.
+	if g.NumLiveVertices() != 5 {
+		t.Errorf("vertices=%d, want 5", g.NumLiveVertices())
+	}
+	if g.NumLiveEdges() != 5 {
+		t.Errorf("edges=%d, want 5", g.NumLiveEdges())
+	}
+	if g.NumInteractions() != 9 {
+		t.Errorf("interactions=%d, want 9", g.NumInteractions())
+	}
+	if g.InDegree(g.Source) != 0 || g.OutDegree(g.Sink) != 0 {
+		t.Errorf("source/sink degrees wrong")
+	}
+}
+
+func TestExtractSubgraphNoCycle(t *testing.T) {
+	n := NewNetwork(3)
+	n.AddInteraction(0, 1, 1, 1)
+	n.AddInteraction(1, 2, 2, 1)
+	n.Finalize()
+	if _, ok := n.ExtractSubgraph(0, DefaultExtractOptions()); ok {
+		t.Fatalf("extracted subgraph from acyclic seed")
+	}
+}
+
+func TestExtractSubgraphTwoHop(t *testing.T) {
+	n := NewNetwork(2)
+	n.AddInteraction(0, 1, 1, 5)
+	n.AddInteraction(1, 0, 2, 4)
+	n.Finalize()
+	g, ok := n.ExtractSubgraph(0, DefaultExtractOptions())
+	if !ok {
+		t.Fatalf("no subgraph")
+	}
+	// s -> u1 -> t
+	if g.NumLiveVertices() != 3 || g.NumLiveEdges() != 2 {
+		t.Errorf("V=%d E=%d, want 3,2", g.NumLiveVertices(), g.NumLiveEdges())
+	}
+}
+
+func TestExtractSubgraphMaxInteractions(t *testing.T) {
+	n := NewNetwork(2)
+	for i := 0; i < 6; i++ {
+		n.AddInteraction(0, 1, float64(i), 1)
+		n.AddInteraction(1, 0, float64(i)+0.5, 1)
+	}
+	n.Finalize()
+	if _, ok := n.ExtractSubgraph(0, ExtractOptions{MaxHops: 3, MaxInteractions: 5}); ok {
+		t.Errorf("subgraph over interaction cap not discarded")
+	}
+	if _, ok := n.ExtractSubgraph(0, ExtractOptions{MaxHops: 3, MaxInteractions: 0}); !ok {
+		t.Errorf("zero cap should mean unlimited")
+	}
+}
+
+func TestExtractSubgraphSkipsInnerCycles(t *testing.T) {
+	// Both v->x->y->v and v->y->x->v exist: inner edges x->y and y->x would
+	// form a 2-cycle; the second path must be skipped.
+	n := NewNetwork(3)           // v=0, x=1, y=2
+	n.AddInteraction(0, 1, 1, 1) // v->x
+	n.AddInteraction(1, 2, 2, 1) // x->y
+	n.AddInteraction(2, 0, 3, 1) // y->v
+	n.AddInteraction(0, 2, 4, 1) // v->y
+	n.AddInteraction(2, 1, 5, 1) // y->x
+	n.AddInteraction(1, 0, 6, 1) // x->v
+	n.Finalize()
+	g, ok := n.ExtractSubgraph(0, DefaultExtractOptions())
+	if !ok {
+		t.Fatalf("no subgraph")
+	}
+	if !g.IsDAG() {
+		t.Fatalf("extraction produced a cyclic graph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuildFlowGraphDistinctSourceSink(t *testing.T) {
+	n := NewNetwork(3)
+	n.AddInteraction(0, 1, 1, 5)
+	n.AddInteraction(1, 2, 2, 4)
+	n.Finalize()
+	e01, _ := n.HasEdge(0, 1)
+	e12, _ := n.HasEdge(1, 2)
+	g := n.BuildFlowGraph([]EdgeID{e01, e12}, 0, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumLiveVertices() != 3 || g.NumLiveEdges() != 2 || g.NumInteractions() != 2 {
+		t.Errorf("V=%d E=%d IA=%d", g.NumLiveVertices(), g.NumLiveEdges(), g.NumInteractions())
+	}
+}
+
+func TestBuildFlowGraphPreservesTieOrder(t *testing.T) {
+	n := NewNetwork(3)
+	n.AddInteraction(0, 1, 5, 1) // inserted first at t=5
+	n.AddInteraction(1, 2, 5, 2) // inserted second at t=5
+	n.AddInteraction(2, 0, 6, 3)
+	n.Finalize()
+	g, ok := n.ExtractSubgraph(0, DefaultExtractOptions())
+	if !ok {
+		t.Fatalf("no subgraph")
+	}
+	evs := g.Events()
+	if evs[0].Qty != 1 || evs[1].Qty != 2 || evs[2].Qty != 3 {
+		t.Errorf("tie order not preserved: %v", evs)
+	}
+}
+
+func TestFlowSubgraphBetween(t *testing.T) {
+	n := figure2Network()
+	// u2 -> u4: paths u2->u4 directly and u2->u3->u4. u1 is not on any
+	// u2->u4 path that avoids... u2->u3->u1->? u1's only outgoing is to
+	// u2 (excluded as the source). So the subgraph is {u2,u3,u4} edges
+	// u2->u3, u2->u4, u3->u4.
+	g, ok := n.FlowSubgraphBetween(1, 3)
+	if !ok {
+		t.Fatalf("no subgraph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumLiveVertices() != 3 || g.NumLiveEdges() != 3 {
+		t.Errorf("V=%d E=%d, want 3,3:\n%s", g.NumLiveVertices(), g.NumLiveEdges(), g)
+	}
+	// Interactions: u2->u3 (2), u2->u4 (1), u3->u4 (1).
+	if g.NumInteractions() != 4 {
+		t.Errorf("IA=%d, want 4", g.NumInteractions())
+	}
+
+	// Unreachable pair: nothing points at an isolated extra vertex.
+	m := NewNetwork(3)
+	m.AddInteraction(0, 1, 1, 2)
+	m.Finalize()
+	if _, ok := m.FlowSubgraphBetween(0, 2); ok {
+		t.Errorf("vertex 2 is unreachable, but a subgraph was returned")
+	}
+}
+
+func TestFlowSubgraphBetweenDropsTerminalEdges(t *testing.T) {
+	n := NewNetwork(3)
+	n.AddInteraction(0, 1, 1, 5)
+	n.AddInteraction(1, 0, 2, 4) // into the source: dropped
+	n.AddInteraction(1, 2, 3, 3)
+	n.AddInteraction(2, 1, 4, 2) // out of the sink: dropped
+	n.Finalize()
+	g, ok := n.FlowSubgraphBetween(0, 2)
+	if !ok {
+		t.Fatalf("no subgraph")
+	}
+	if g.InDegree(g.Source) != 0 || g.OutDegree(g.Sink) != 0 {
+		t.Errorf("terminal edges not dropped")
+	}
+	if g.NumLiveEdges() != 2 {
+		t.Errorf("E=%d, want 2", g.NumLiveEdges())
+	}
+}
+
+func TestFlowSubgraphBetweenPanics(t *testing.T) {
+	n := figure2Network()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for source == sink")
+		}
+	}()
+	n.FlowSubgraphBetween(1, 1)
+}
+
+func TestNetworkIORoundTrip(t *testing.T) {
+	n := figure2Network()
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, n); err != nil {
+		t.Fatalf("WriteNetwork: %v", err)
+	}
+	m, err := ReadNetwork(&buf)
+	if err != nil {
+		t.Fatalf("ReadNetwork: %v", err)
+	}
+	if m.NumVertices() != n.NumVertices() || m.NumEdges() != n.NumEdges() || m.NumInteractions() != n.NumInteractions() {
+		t.Fatalf("round trip mismatch: %+v vs %+v", m.Stats(), n.Stats())
+	}
+	// Canonical order must be preserved.
+	for e := 0; e < n.NumEdges(); e++ {
+		ne := n.Edge(EdgeID(e))
+		me, ok := m.HasEdge(ne.From, ne.To)
+		if !ok {
+			t.Fatalf("edge %d->%d missing after round trip", ne.From, ne.To)
+		}
+		for i, ia := range ne.Seq {
+			mia := m.Edge(me).Seq[i]
+			if mia.Time != ia.Time || mia.Qty != ia.Qty || mia.Ord != ia.Ord {
+				t.Errorf("edge %d->%d interaction %d: %+v vs %+v", ne.From, ne.To, i, mia, ia)
+			}
+		}
+	}
+}
+
+func TestNetworkFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	n := figure2Network()
+	for _, name := range []string{"net.txt", "net.txt.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveNetwork(path, n); err != nil {
+			t.Fatalf("SaveNetwork(%s): %v", name, err)
+		}
+		m, err := LoadNetwork(path)
+		if err != nil {
+			t.Fatalf("LoadNetwork(%s): %v", name, err)
+		}
+		if m.NumInteractions() != n.NumInteractions() {
+			t.Errorf("%s: IA=%d, want %d", name, m.NumInteractions(), n.NumInteractions())
+		}
+	}
+}
+
+func TestReadNetworkErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"short line", "1 2 3\n"},
+		{"bad from", "x 2 3 4\n"},
+		{"bad to", "1 x 3 4\n"},
+		{"bad time", "1 2 x 4\n"},
+		{"bad qty", "1 2 3 x\n"},
+		{"negative id", "-1 2 3 4\n"},
+		{"negative qty", "1 2 3 -4\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadNetwork(bytes.NewBufferString(c.data)); err == nil {
+				t.Errorf("expected error for %q", c.data)
+			}
+		})
+	}
+}
+
+func TestReadNetworkHeaderAndComments(t *testing.T) {
+	data := "# vertices 10\n# a comment\n\n0 1 1.5 2.5\n"
+	n, err := ReadNetwork(bytes.NewBufferString(data))
+	if err != nil {
+		t.Fatalf("ReadNetwork: %v", err)
+	}
+	if n.NumVertices() != 10 {
+		t.Errorf("vertices=%d, want 10 (from header)", n.NumVertices())
+	}
+	if n.NumInteractions() != 1 {
+		t.Errorf("interactions=%d, want 1", n.NumInteractions())
+	}
+}
+
+func TestLoadNetworkMissingFile(t *testing.T) {
+	if _, err := LoadNetwork("/nonexistent/net.txt"); err == nil {
+		t.Fatalf("expected error for missing file")
+	}
+}
