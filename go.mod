@@ -1,0 +1,3 @@
+module flownet
+
+go 1.24
