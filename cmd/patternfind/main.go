@@ -4,8 +4,10 @@
 //	patternfind -input net.txt -pattern P3 -mode both -max 3000
 //
 // Patterns are the paper's Figure 12 catalogue (P1–P6 rigid, RP1–RP3
-// relaxed; see DESIGN.md §5). Mode "gb" browses the graph directly, "pb"
+// relaxed; see DESIGN.md). Mode "gb" browses the graph directly, "pb"
 // precomputes the path tables first, "both" runs and compares the two.
+// -workers fans the per-instance flow computations out to a worker pool;
+// the reported summary is identical for every worker count.
 package main
 
 import (
@@ -25,6 +27,7 @@ func main() {
 		max     = flag.Int64("max", 0, "stop after this many instances (0 = exhaustive)")
 		engine  = flag.String("engine", "lp", "exact engine for LP-class instances: lp | teg")
 		listTop = flag.Int("list", 0, "additionally list the first N instances (rigid patterns)")
+		workers = flag.Int("workers", 0, "instance-flow worker pool (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 	if *input == "" {
@@ -46,7 +49,7 @@ func main() {
 	if *engine == "teg" {
 		eng = flownet.EngineTEG
 	}
-	opts := flownet.PatternOptions{MaxInstances: *max, Engine: eng}
+	opts := flownet.PatternOptions{MaxInstances: *max, Engine: eng, Workers: *workers}
 
 	needChains := *name == "P1" || *name == "RP1"
 	if *mode == "gb" || *mode == "both" {

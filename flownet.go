@@ -35,11 +35,23 @@
 // patterns) and their flows are enumerated with SearchGB (graph browsing)
 // or, after Precompute, the much faster SearchPB.
 //
+// # Concurrency
+//
+// The search and pipeline entry points never mutate their inputs, so they
+// are safe to call concurrently on the same network or graph. Two knobs
+// exploit this: PatternOptions.Workers fans the per-instance flow
+// computations of SearchGB/SearchPB out to a bounded worker pool (results
+// are aggregated in enumeration order, so any worker count produces a
+// Summary identical to the sequential search), and BatchFlow /
+// BatchFlowSeeds run the PreSim pipeline over many independent instances
+// or seeds concurrently.
+//
 // # Reproduction
 //
 // cmd/repro regenerates every table and figure of the paper's evaluation on
-// synthetic datasets shaped after the originals; see DESIGN.md and
-// EXPERIMENTS.md.
+// synthetic datasets shaped after the originals; DESIGN.md documents the
+// architecture and the deliberate deviations, EXPERIMENTS.md what each
+// experiment reproduces and how to read it.
 package flownet
 
 import (
@@ -180,6 +192,38 @@ func Pre(g *Graph, engine Engine) (Result, error) { return core.Pre(g, engine) }
 // PreSim runs the complete pipeline (Pre plus chain simplification).
 // g is not modified.
 func PreSim(g *Graph, engine Engine) (Result, error) { return core.PreSim(g, engine) }
+
+// BatchOptions configure the batch flow-computation APIs.
+type BatchOptions struct {
+	// Engine is the exact solver for class-C instances (default EngineLP).
+	Engine Engine
+	// Workers bounds the worker pool: 0 selects GOMAXPROCS, 1 (or any
+	// negative value) runs sequentially.
+	Workers int
+}
+
+// SeedFlow is one BatchFlowSeeds outcome (see core.SeedResult).
+type SeedFlow = core.SeedResult
+
+// BatchFlow runs the complete PreSim pipeline over many independent flow
+// instances on a bounded worker pool. Results are returned in input order
+// and are identical to looping over PreSim sequentially — the instances
+// never interact. Every item is attempted even if another fails; the
+// returned error is the lowest-indexed failure (its Result slot is zero),
+// or nil.
+func BatchFlow(gs []*Graph, opts BatchOptions) ([]Result, error) {
+	return core.BatchPreSim(gs, opts.Engine, opts.Workers)
+}
+
+// BatchFlowSeeds runs the paper's Section 6.2 per-seed experiment
+// concurrently: for every seed it extracts the returning-path flow
+// subgraph around the seed (Figure 10) and solves it with the PreSim
+// pipeline. Seeds without a subgraph (no returning path, or above the
+// extraction size cap) are reported with Ok == false. Results are in seed
+// order, identical to a sequential loop.
+func BatchFlowSeeds(n *Network, seeds []VertexID, extract ExtractOptions, opts BatchOptions) ([]SeedFlow, error) {
+	return core.BatchSeeds(n, seeds, extract, opts.Engine, opts.Workers)
+}
 
 // Preprocess applies Algorithm 1 (interaction/edge/vertex elimination) to g
 // in place, preserving its maximum flow. The graph must be a DAG.

@@ -68,6 +68,69 @@ func TestBuildCorpusLimits(t *testing.T) {
 	}
 }
 
+// TestBuildCorpusParallelMatchesSequential: the corpus (content, order and
+// MaxSubgraphs cut) must not depend on the worker count.
+func TestBuildCorpusParallelMatchesSequential(t *testing.T) {
+	n := datagen.Prosper(datagen.Config{Vertices: 400, Seed: 5})
+	for _, maxSub := range []int{0, 7} {
+		seq := DefaultCorpusOptions()
+		seq.Workers = 1
+		seq.MaxSubgraphs = maxSub
+		want := BuildCorpus(n, seq)
+		for _, workers := range []int{2, 8} {
+			opts := seq
+			opts.Workers = workers
+			got := BuildCorpus(n, opts)
+			if len(got) != len(want) {
+				t.Fatalf("maxsub=%d workers=%d: %d subgraphs, want %d", maxSub, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Seed != want[i].Seed || got[i].Class != want[i].Class ||
+					got[i].G.NumInteractions() != want[i].G.NumInteractions() {
+					t.Errorf("maxsub=%d workers=%d: corpus[%d] differs (seed %d/%d)",
+						maxSub, workers, i, got[i].Seed, want[i].Seed)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildCorpusSparseCapParallel pins the cap-window iteration on a
+// sparse network where valid seeds are spaced much further apart than the
+// shrunk near-cap window: a stride bug that skips unscanned seeds after an
+// under-filled window shows up here, not on a dense corpus.
+func TestBuildCorpusSparseCapParallel(t *testing.T) {
+	n := tin.NewNetwork(200)
+	for _, v := range []int{0, 50, 100, 150} {
+		a, b := tin.VertexID(v), tin.VertexID(v+1)
+		n.AddInteraction(a, b, float64(v), 5)
+		n.AddInteraction(b, a, float64(v)+1, 5)
+	}
+	n.Finalize()
+	for _, maxSub := range []int{0, 6} {
+		opts := DefaultCorpusOptions()
+		opts.MaxSubgraphs = maxSub
+		opts.Workers = 1
+		want := BuildCorpus(n, opts)
+		if maxSub > 0 && len(want) != maxSub {
+			t.Fatalf("sequential corpus has %d subgraphs, want %d", len(want), maxSub)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			opts.Workers = workers
+			got := BuildCorpus(n, opts)
+			if len(got) != len(want) {
+				t.Fatalf("maxsub=%d workers=%d: %d subgraphs, want %d", maxSub, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Seed != want[i].Seed {
+					t.Errorf("maxsub=%d workers=%d: corpus[%d] seed %d, want %d",
+						maxSub, workers, i, got[i].Seed, want[i].Seed)
+				}
+			}
+		}
+	}
+}
+
 func TestRunFlowBench(t *testing.T) {
 	corpus, _ := testCorpus(t)
 	opts := DefaultFlowBenchOptions()

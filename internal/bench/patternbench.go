@@ -23,6 +23,10 @@ type PatternBenchOptions struct {
 	MaxInstances int64
 	// Engine is the exact engine for LP-class instances.
 	Engine core.Engine
+	// Workers bounds the per-instance flow worker pool of both searchers
+	// (0 = GOMAXPROCS, 1 = sequential); see pattern.Options.Workers.
+	// Results are identical for every worker count.
+	Workers int
 }
 
 // PatternRow is one row of Tables 9–11.
@@ -69,7 +73,7 @@ func RunPatternBench(n *tin.Network, opts PatternBenchOptions) (PatternReport, e
 	}
 
 	for _, p := range pats {
-		sopts := pattern.Options{MaxInstances: opts.MaxInstances, Engine: opts.Engine}
+		sopts := pattern.Options{MaxInstances: opts.MaxInstances, Engine: opts.Engine, Workers: opts.Workers}
 
 		t0 = time.Now()
 		gb, err := pattern.SearchGB(n, p, sopts)

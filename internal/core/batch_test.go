@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"flownet/internal/datagen"
+	"flownet/internal/tin"
+)
+
+// batchTestGraphs extracts a small §6.2 subgraph corpus to batch over.
+func batchTestGraphs(t *testing.T) (*tin.Network, []tin.VertexID, []*tin.Graph) {
+	t.Helper()
+	n := datagen.Prosper(datagen.Config{Vertices: 200, Seed: 9})
+	var seeds []tin.VertexID
+	var gs []*tin.Graph
+	for v := 0; v < n.NumVertices() && len(gs) < 40; v++ {
+		if g, ok := n.ExtractSubgraph(tin.VertexID(v), tin.DefaultExtractOptions()); ok {
+			seeds = append(seeds, tin.VertexID(v))
+			gs = append(gs, g)
+		}
+	}
+	if len(gs) < 5 {
+		t.Fatalf("only %d subgraphs extracted", len(gs))
+	}
+	return n, seeds, gs
+}
+
+// TestBatchPreSimMatchesSequential checks that the batched pipeline equals
+// a sequential loop over PreSim, item for item, for several worker counts.
+// Under -race this also exercises the package's concurrent-use guarantee.
+func TestBatchPreSimMatchesSequential(t *testing.T) {
+	_, _, gs := batchTestGraphs(t)
+	want := make([]Result, len(gs))
+	for i, g := range gs {
+		r, err := PreSim(g, EngineLP)
+		if err != nil {
+			t.Fatalf("PreSim #%d: %v", i, err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := BatchPreSim(gs, EngineLP, workers)
+		if err != nil {
+			t.Fatalf("BatchPreSim workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d item %d: %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchPreMatchesPre covers the Pre (no simplification) variant.
+func TestBatchPreMatchesPre(t *testing.T) {
+	_, _, gs := batchTestGraphs(t)
+	got, err := BatchPre(gs, EngineLP, 4)
+	if err != nil {
+		t.Fatalf("BatchPre: %v", err)
+	}
+	for i, g := range gs {
+		want, err := Pre(g, EngineLP)
+		if err != nil {
+			t.Fatalf("Pre #%d: %v", i, err)
+		}
+		if got[i] != want {
+			t.Errorf("item %d: %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestBatchSeeds checks the end-to-end per-seed batch against individual
+// extraction + PreSim, including seeds with no returning-path subgraph.
+func TestBatchSeeds(t *testing.T) {
+	n, _, _ := batchTestGraphs(t)
+	seeds := make([]tin.VertexID, n.NumVertices())
+	for i := range seeds {
+		seeds[i] = tin.VertexID(i)
+	}
+	got, err := BatchSeeds(n, seeds, tin.DefaultExtractOptions(), EngineLP, 8)
+	if err != nil {
+		t.Fatalf("BatchSeeds: %v", err)
+	}
+	if len(got) != len(seeds) {
+		t.Fatalf("%d results for %d seeds", len(got), len(seeds))
+	}
+	okCount := 0
+	for i, r := range got {
+		if r.Seed != seeds[i] {
+			t.Fatalf("result %d reports seed %d", i, r.Seed)
+		}
+		g, ok := n.ExtractSubgraph(seeds[i], tin.DefaultExtractOptions())
+		if ok != r.Ok {
+			t.Errorf("seed %d: Ok=%v, extraction says %v", r.Seed, r.Ok, ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		okCount++
+		want, err := PreSim(g, EngineLP)
+		if err != nil {
+			t.Fatalf("PreSim seed %d: %v", r.Seed, err)
+		}
+		if r.Result != want {
+			t.Errorf("seed %d: %+v, want %+v", r.Seed, r.Result, want)
+		}
+	}
+	if okCount == 0 {
+		t.Errorf("no seed produced a subgraph; test vacuous")
+	}
+}

@@ -15,6 +15,19 @@
 // All algorithms interpret "before" via the canonical interaction order
 // defined by package tin, so greedy, LP and the time-expanded reduction
 // agree exactly, including on inputs with duplicate timestamps.
+//
+// # Concurrency
+//
+// This package keeps no hidden shared state: there are no package-level
+// mutable variables, and every algorithm works exclusively on its argument
+// graph (the LP and TEG engines build fresh problem instances per call).
+// Concurrent calls on distinct graphs are therefore always safe — this is
+// what BatchPreSim and the parallel pattern searches rely on. The
+// non-mutating entry points (Greedy, GreedySoluble, Pre, PreSim, MaxFlow,
+// MaxFlowLP) are additionally safe to call concurrently on the same graph:
+// they treat the input as read-only and clone it before any modification.
+// Preprocess and Simplify mutate their argument in place and must not run
+// concurrently with any other use of the same graph.
 package core
 
 import (

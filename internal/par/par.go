@@ -1,0 +1,150 @@
+// Package par provides the small deterministic parallel-execution helpers
+// behind the library's Workers knobs: a bounded parallel for, and an
+// ordered fan-out whose results are reduced in emission order so that a
+// parallel run is bit-for-bit identical to its sequential counterpart
+// (floating-point sums included).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n > 0 is used as given, 0 selects
+// GOMAXPROCS, and negative values mean fully sequential (1).
+func Workers(n int) int {
+	switch {
+	case n > 0:
+		return n
+	case n == 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// and returns when all calls have completed. With workers <= 1 (or n <= 1)
+// it degenerates to a plain loop on the calling goroutine. fn must be safe
+// to call concurrently for distinct indices.
+func ForEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// OrderedFanOut pipes the items emitted by produce through solve on a pool
+// of workers goroutines and hands each result to reduce in emission order,
+// regardless of the order in which workers finish. It is the building block
+// for parallel searches that must agree exactly with their sequential
+// versions: because reduce sees results in the same order a sequential loop
+// would, accumulated sums (and early-stop decisions) are identical.
+//
+// produce calls emit once per item, in order; emit returns false when the
+// pipeline has stopped and no further items will be consumed. reduce
+// returns false to stop early (cut-off reached, error observed); items
+// already in flight are still solved but their results are discarded.
+// OrderedFanOut returns only after all goroutines have drained.
+//
+// produce and reduce run on separate goroutines but never concurrently
+// with themselves; solve runs concurrently on up to workers goroutines and
+// must be safe for that.
+func OrderedFanOut[J, R any](workers int, produce func(emit func(J) bool), solve func(J) R, reduce func(R) bool) {
+	if workers <= 1 {
+		stopped := false
+		produce(func(j J) bool {
+			if stopped {
+				return false
+			}
+			if !reduce(solve(j)) {
+				stopped = true
+			}
+			return !stopped
+		})
+		return
+	}
+	type job struct {
+		idx int64
+		val J
+	}
+	type result struct {
+		idx int64
+		val R
+	}
+	jobs := make(chan job, workers)
+	results := make(chan result, workers)
+	var stopped atomic.Bool
+	go func() {
+		defer close(jobs)
+		var idx int64
+		produce(func(j J) bool {
+			if stopped.Load() {
+				return false
+			}
+			jobs <- job{idx, j}
+			idx++
+			return true
+		})
+	}()
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				results <- result{jb.idx, solve(jb.val)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	// Reorder buffer: results are applied strictly in emission order. Its
+	// size is bounded by the number of in-flight jobs (2*workers + 2).
+	pending := make(map[int64]R)
+	var next int64
+	done := false
+	for r := range results {
+		if done {
+			continue // drain
+		}
+		pending[r.idx] = r.val
+		for {
+			v, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if !reduce(v) {
+				done = true
+				stopped.Store(true)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Errorf("Workers(4) != 4")
+	}
+	if Workers(0) < 1 {
+		t.Errorf("Workers(0) < 1")
+	}
+	if Workers(-3) != 1 {
+		t.Errorf("Workers(-3) != 1")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		var sum atomic.Int64
+		seen := make([]atomic.Bool, n)
+		ForEach(workers, n, func(i int) {
+			if seen[i].Swap(true) {
+				t.Errorf("workers=%d: index %d visited twice", workers, i)
+			}
+			sum.Add(int64(i))
+		})
+		if got := sum.Load(); got != n*(n-1)/2 {
+			t.Errorf("workers=%d: sum=%d, want %d", workers, got, n*(n-1)/2)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Errorf("fn called for empty range") })
+}
+
+// TestOrderedFanOutOrder checks that reduce sees results in emission order
+// for every worker count, even though solve finishes out of order.
+func TestOrderedFanOutOrder(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 5, 16} {
+		var got []int
+		OrderedFanOut(workers,
+			func(emit func(int) bool) {
+				for i := 0; i < n; i++ {
+					if !emit(i) {
+						return
+					}
+				}
+			},
+			func(i int) int {
+				if i%3 == 0 { // stagger completion order
+					for j := 0; j < 1000; j++ {
+						_ = j * j
+					}
+				}
+				return i
+			},
+			func(r int) bool {
+				got = append(got, r)
+				return true
+			})
+		if len(got) != n {
+			t.Fatalf("workers=%d: reduced %d of %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: out of order at %d: %v", workers, i, got[:i+1])
+			}
+		}
+	}
+}
+
+// TestOrderedFanOutEarlyStop checks that a false return from reduce stops
+// the producer and that exactly the prefix before the stop was reduced.
+func TestOrderedFanOutEarlyStop(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var reduced []int
+		var emitted int
+		OrderedFanOut(workers,
+			func(emit func(int) bool) {
+				for i := 0; ; i++ {
+					if !emit(i) {
+						return
+					}
+					emitted++
+				}
+			},
+			func(i int) int { return i },
+			func(r int) bool {
+				reduced = append(reduced, r)
+				return len(reduced) < 10
+			})
+		if len(reduced) != 10 {
+			t.Errorf("workers=%d: reduced %d items, want 10", workers, len(reduced))
+		}
+		for i, v := range reduced {
+			if v != i {
+				t.Errorf("workers=%d: reduced[%d]=%d", workers, i, v)
+			}
+		}
+	}
+}

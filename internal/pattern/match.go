@@ -15,6 +15,16 @@ type Instance struct {
 	EdgeIDs []tin.EdgeID
 }
 
+// Clone returns a deep copy of the instance. EnumerateGB reuses the
+// *Instance it passes to its callback, so a copy is required whenever an
+// instance outlives the callback — e.g. when it is handed to a worker pool.
+func (in *Instance) Clone() *Instance {
+	return &Instance{
+		V:       append([]tin.VertexID(nil), in.V...),
+		EdgeIDs: append([]tin.EdgeID(nil), in.EdgeIDs...),
+	}
+}
+
 // matchPlan is a precomputed vertex placement order for backtracking: each
 // placed vertex (after the first) is adjacent in the pattern to an earlier
 // one, so candidates come from a neighbor list rather than the whole graph.
@@ -198,10 +208,7 @@ func EnumerateGB(n *tin.Network, p *Pattern, fn func(*Instance) bool) error {
 func CollectGB(n *tin.Network, p *Pattern, limit int) ([]Instance, error) {
 	var out []Instance
 	err := EnumerateGB(n, p, func(in *Instance) bool {
-		out = append(out, Instance{
-			V:       append([]tin.VertexID(nil), in.V...),
-			EdgeIDs: append([]tin.EdgeID(nil), in.EdgeIDs...),
-		})
+		out = append(out, *in.Clone())
 		return limit == 0 || len(out) < limit
 	})
 	if err != nil {

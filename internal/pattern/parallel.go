@@ -1,0 +1,130 @@
+package pattern
+
+import (
+	"flownet/internal/par"
+	"flownet/internal/tin"
+)
+
+// This file contains the parallel execution layer of the pattern searches.
+// Both searchers keep their enumeration single-threaded (it is cheap and
+// inherently ordered) and fan the expensive per-instance flow computations
+// out to a bounded worker pool; results are folded back in enumeration
+// order via par.OrderedFanOut, so for any Options.Workers value the Summary
+// is bit-for-bit identical to the sequential search — including TotalFlow
+// (floating-point addition order preserved), the MaxInstances cut-off, the
+// Truncated flag, and which error is reported first.
+
+// flowOutcome is one solved instance: its maximum flow or the error that
+// prevented computing it.
+type flowOutcome struct {
+	flow float64
+	err  error
+}
+
+// searchInstances aggregates the flows of the instances produced by
+// enumerate into a Summary, sequentially or on opts.workers() goroutines.
+// enumerate must call emit once per instance in deterministic order and
+// stop when emit returns false. If reused is true the emitted *Instance is
+// reused by the enumerator (as EnumerateGB does) and is cloned before it
+// crosses a goroutine boundary.
+func searchInstances(p *Pattern, n *tin.Network, opts Options, reused bool, enumerate func(emit func(*Instance) bool)) (Summary, error) {
+	sum := Summary{Pattern: p.Name}
+	var solveErr error
+	reduce := func(r flowOutcome) bool {
+		if r.err != nil {
+			solveErr = r.err
+			return false
+		}
+		sum.Instances++
+		sum.TotalFlow += r.flow
+		if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
+			sum.Truncated = true
+			return false
+		}
+		return true
+	}
+	workers := opts.workers()
+	if workers <= 1 {
+		enumerate(func(inst *Instance) bool {
+			f, err := InstanceFlow(n, p, inst, opts.Engine)
+			return reduce(flowOutcome{f, err})
+		})
+		return sum, solveErr
+	}
+	par.OrderedFanOut(workers,
+		func(emit func(*Instance) bool) {
+			var produced int64
+			enumerate(func(inst *Instance) bool {
+				if reused {
+					inst = inst.Clone()
+				}
+				if !emit(inst) {
+					return false
+				}
+				produced++
+				// The sequential search never looks past the cut-off;
+				// stopping the producer here keeps the work identical.
+				return opts.MaxInstances <= 0 || produced < opts.MaxInstances
+			})
+		},
+		func(inst *Instance) flowOutcome {
+			f, err := InstanceFlow(n, p, inst, opts.Engine)
+			return flowOutcome{f, err}
+		},
+		reduce)
+	return sum, solveErr
+}
+
+// anchorGroup is the aggregate a relaxed search forms at one anchor: the
+// summed flow of the anchored paths and how many paths contributed. For
+// cycle patterns an anchor yields at most one group; for chain patterns one
+// group per (anchor, end) pair, in ascending end order.
+type anchorGroup struct {
+	flow  float64
+	paths int
+}
+
+// searchAnchors aggregates per-anchor groups into a Summary, scanning the
+// anchors 0..NumVertices-1 either sequentially or on opts.workers()
+// goroutines. collect computes one anchor's groups in isolation (it runs
+// concurrently for distinct anchors when workers > 1); groups are reduced
+// in (anchor, group) order, so the result is identical to the sequential
+// scan for any worker count. The MinPaths filter and MaxInstances cut-off
+// are applied during reduction.
+func searchAnchors(name string, n *tin.Network, opts Options, collect func(a tin.VertexID) []anchorGroup) Summary {
+	sum := Summary{Pattern: name}
+	reduce := func(groups []anchorGroup) bool {
+		for _, g := range groups {
+			if g.paths < opts.minPaths() {
+				continue
+			}
+			sum.Instances++
+			sum.TotalFlow += g.flow
+			if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
+				sum.Truncated = true
+				return false
+			}
+		}
+		return true
+	}
+	workers := opts.workers()
+	if workers <= 1 {
+		for a := 0; a < n.NumVertices(); a++ {
+			if !reduce(collect(tin.VertexID(a))) {
+				break
+			}
+		}
+		return sum
+	}
+	par.OrderedFanOut(workers,
+		func(emit func(tin.VertexID) bool) {
+			for a := 0; a < n.NumVertices(); a++ {
+				if !emit(tin.VertexID(a)) {
+					return
+				}
+			}
+		},
+		collect,
+		reduce)
+	return sum
+}

@@ -1,0 +1,109 @@
+package pattern
+
+import (
+	"testing"
+
+	"flownet/internal/core"
+	"flownet/internal/tin"
+)
+
+// searchBoth runs a searcher sequentially and with the given worker counts
+// and requires every Summary to be identical — bit-for-bit, TotalFlow
+// included. This is the contract of the parallel execution layer: the
+// worker pool must be unobservable in the results.
+func searchBoth(t *testing.T, name string, run func(opts Options) (Summary, error), opts Options) Summary {
+	t.Helper()
+	opts.Workers = 1
+	want, err := run(opts)
+	if err != nil {
+		t.Fatalf("%s sequential: %v", name, err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		opts.Workers = workers
+		got, err := run(opts)
+		if err != nil {
+			t.Fatalf("%s workers=%d: %v", name, workers, err)
+		}
+		if got != want {
+			t.Errorf("%s workers=%d: %+v, sequential %+v", name, workers, got, want)
+		}
+	}
+	return want
+}
+
+// TestParallelSearchMatchesSequential checks GB and PB on every catalogue
+// pattern, exhaustively and under tight MaxInstances cut-offs. Run under
+// -race this doubles as the concurrency-safety test for the shared
+// network, tables and core pipeline.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	n := randomNetwork(11, 16)
+	tb := Precompute(n, true)
+	for _, p := range Catalogue {
+		p := p
+		for _, max := range []int64{0, 1, 2, 7} {
+			opts := Options{MaxInstances: max, Engine: core.EngineLP}
+			gb := searchBoth(t, p.Name+"/GB", func(o Options) (Summary, error) {
+				return SearchGB(n, p, o)
+			}, opts)
+			if max == 0 && gb.Instances == 0 {
+				t.Errorf("%s: no instances in test network; equivalence check vacuous", p.Name)
+			}
+			searchBoth(t, p.Name+"/PB", func(o Options) (Summary, error) {
+				return SearchPB(n, tb, p, o)
+			}, opts)
+		}
+	}
+}
+
+// TestParallelSearchMinPaths covers the relaxed patterns' MinPaths filter
+// under parallel execution.
+func TestParallelSearchMinPaths(t *testing.T) {
+	n := randomNetwork(23, 18)
+	for _, p := range []*Pattern{RP1, RP2, RP3} {
+		p := p
+		searchBoth(t, p.Name+"/minpaths", func(o Options) (Summary, error) {
+			return SearchGB(n, p, o)
+		}, Options{MinPaths: 2})
+	}
+}
+
+// TestParallelTruncationSemantics pins down the cut-off contract: the
+// parallel search must report exactly the first MaxInstances instances in
+// enumeration order, with Truncated set iff the cut-off was reached.
+func TestParallelTruncationSemantics(t *testing.T) {
+	n := randomNetwork(11, 16)
+	exhaustive, err := SearchGB(n, P2, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exhaustive.Instances < 3 {
+		t.Skipf("need >= 3 P2 instances, have %d", exhaustive.Instances)
+	}
+	cut, err := SearchGB(n, P2, Options{MaxInstances: exhaustive.Instances - 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut.Truncated || cut.Instances != exhaustive.Instances-1 {
+		t.Errorf("cut-off search: %+v, want %d instances truncated", cut, exhaustive.Instances-1)
+	}
+	// Cut-off exactly at the instance count still marks Truncated, like the
+	// sequential search always has.
+	exact, err := SearchGB(n, P2, Options{MaxInstances: exhaustive.Instances, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Truncated || exact.Instances != exhaustive.Instances || exact.TotalFlow != exhaustive.TotalFlow {
+		t.Errorf("exact cut-off: %+v, exhaustive %+v", exact, exhaustive)
+	}
+}
+
+// TestInstanceClone verifies the deep copy EnumerateGB consumers rely on.
+func TestInstanceClone(t *testing.T) {
+	in := &Instance{V: []tin.VertexID{1, 2}, EdgeIDs: []tin.EdgeID{3}}
+	c := in.Clone()
+	c.V[0] = 9
+	c.EdgeIDs[0] = 9
+	if in.V[0] != 1 || in.EdgeIDs[0] != 3 {
+		t.Errorf("Clone shares storage with the original")
+	}
+}

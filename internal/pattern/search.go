@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"flownet/internal/core"
+	"flownet/internal/par"
 	"flownet/internal/tin"
 )
 
@@ -21,6 +22,13 @@ type Options struct {
 	// cycles"): an aggregated instance is reported only if it bundles at
 	// least this many parallel paths. 0 or 1 means any.
 	MinPaths int
+	// Workers bounds the worker pool that solves per-instance flows
+	// (SearchGB, and the SearchPB plans that cannot reuse precomputed
+	// flows). 0 selects GOMAXPROCS, 1 (or any negative value) runs fully
+	// sequentially. The result is identical for every worker count: flows
+	// are aggregated in enumeration order, so instance counts, total flow
+	// and cut-off behavior match the sequential search bit-for-bit.
+	Workers int
 }
 
 func (o Options) minPaths() int {
@@ -29,6 +37,9 @@ func (o Options) minPaths() int {
 	}
 	return o.MinPaths
 }
+
+// workers resolves the Workers knob (see par.Workers).
+func (o Options) workers() int { return par.Workers(o.Workers) }
 
 // Summary aggregates a pattern search, matching the columns of the paper's
 // Tables 9–11 (instance count and average flow; the caller times the call).
@@ -49,52 +60,41 @@ func (s Summary) AvgFlow() float64 {
 
 // SearchGB finds all instances of the pattern by graph browsing and
 // computes each instance's maximum flow with the core algorithms
-// (Section 5.1): no precomputed data is used.
+// (Section 5.1): no precomputed data is used. Instance flows are computed
+// on opts.Workers goroutines; see Options.Workers.
 func SearchGB(n *tin.Network, p *Pattern, opts Options) (Summary, error) {
 	switch p.Kind {
 	case KindRigid:
 		return searchRigidGB(n, p, opts)
 	case KindRelaxed2Cycles:
-		return searchRelaxedCyclesGB(n, p, opts, 2)
+		return searchRelaxedCyclesGB(n, p, opts, 2), nil
 	case KindRelaxed3Cycles:
-		return searchRelaxedCyclesGB(n, p, opts, 3)
+		return searchRelaxedCyclesGB(n, p, opts, 3), nil
 	case KindRelaxedChains:
-		return searchRelaxedChainsGB(n, p, opts)
+		return searchRelaxedChainsGB(n, p, opts), nil
 	default:
 		return Summary{}, fmt.Errorf("pattern %s: unknown kind", p.Name)
 	}
 }
 
 func searchRigidGB(n *tin.Network, p *Pattern, opts Options) (Summary, error) {
-	sum := Summary{Pattern: p.Name}
-	var ierr error
-	err := EnumerateGB(n, p, func(inst *Instance) bool {
-		flow, err := InstanceFlow(n, p, inst, opts.Engine)
-		if err != nil {
-			ierr = err
-			return false
-		}
-		sum.Instances++
-		sum.TotalFlow += flow
-		if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
-			sum.Truncated = true
-			return false
-		}
-		return true
+	var enumErr error
+	sum, err := searchInstances(p, n, opts, true, func(emit func(*Instance) bool) {
+		enumErr = EnumerateGB(n, p, emit)
 	})
-	if err == nil {
-		err = ierr
+	if enumErr != nil {
+		return sum, enumErr
 	}
 	return sum, err
 }
 
 // searchRelaxedCyclesGB aggregates, per anchor vertex, the flows of all
 // (hops = 2) or all vertex-disjoint (hops = 3) anchored cycles. One
-// instance per anchor with at least one cycle (Section 5.3).
-func searchRelaxedCyclesGB(n *tin.Network, p *Pattern, opts Options, hops int) (Summary, error) {
-	sum := Summary{Pattern: p.Name}
-	for a := 0; a < n.NumVertices(); a++ {
-		va := tin.VertexID(a)
+// instance per anchor with at least one cycle (Section 5.3). Anchors are
+// processed independently (and concurrently when opts.Workers allows), with
+// results folded in ascending anchor order.
+func searchRelaxedCyclesGB(n *tin.Network, p *Pattern, opts Options, hops int) Summary {
+	return searchAnchors(p.Name, n, opts, func(va tin.VertexID) []anchorGroup {
 		anchorFlow := 0.0
 		cycles := 0
 		used := make(map[tin.VertexID]bool)
@@ -125,23 +125,15 @@ func searchRelaxedCyclesGB(n *tin.Network, p *Pattern, opts Options, hops int) (
 				}
 			}
 		}
-		if cycles >= opts.minPaths() {
-			sum.Instances++
-			sum.TotalFlow += anchorFlow
-			if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
-				sum.Truncated = true
-				return sum, nil
-			}
-		}
-	}
-	return sum, nil
+		return []anchorGroup{{flow: anchorFlow, paths: cycles}}
+	})
 }
 
-// searchRelaxedChainsGB aggregates all 2-hop chains a→x→c per (a, c) pair.
-func searchRelaxedChainsGB(n *tin.Network, p *Pattern, opts Options) (Summary, error) {
-	sum := Summary{Pattern: p.Name}
-	for a := 0; a < n.NumVertices(); a++ {
-		va := tin.VertexID(a)
+// searchRelaxedChainsGB aggregates all 2-hop chains a→x→c per (a, c) pair,
+// one anchor at a time (concurrently across anchors when opts.Workers
+// allows), folding groups in ascending (anchor, end) order.
+func searchRelaxedChainsGB(n *tin.Network, p *Pattern, opts Options) Summary {
+	return searchAnchors(p.Name, n, opts, func(va tin.VertexID) []anchorGroup {
 		flows := make(map[tin.VertexID]float64) // end vertex -> aggregated flow
 		paths := make(map[tin.VertexID]int)
 		for _, e1 := range n.OutEdges(va) {
@@ -162,27 +154,21 @@ func searchRelaxedChainsGB(n *tin.Network, p *Pattern, opts Options) (Summary, e
 			ends = append(ends, c)
 		}
 		sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+		groups := make([]anchorGroup, 0, len(ends))
 		for _, c := range ends {
-			if paths[c] < opts.minPaths() {
-				continue
-			}
-			sum.Instances++
-			sum.TotalFlow += flows[c]
-			if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
-				sum.Truncated = true
-				return sum, nil
-			}
+			groups = append(groups, anchorGroup{flow: flows[c], paths: paths[c]})
 		}
-	}
-	return sum, nil
+		return groups
+	})
 }
 
 // SearchPB finds the pattern's instances using the precomputed path tables
 // (Section 5.2). For decomposable patterns the stored per-path flows are
 // summed directly; for P4 and P6 the tables accelerate instance discovery
-// but each instance's flow is computed on the assembled subgraph, matching
-// the paper's observation that precomputed flows cannot be reused when the
-// paths are not independent in the instance.
+// but each instance's flow is computed on the assembled subgraph (on
+// opts.Workers goroutines), matching the paper's observation that
+// precomputed flows cannot be reused when the paths are not independent in
+// the instance.
 func SearchPB(n *tin.Network, t Tables, p *Pattern, opts Options) (Summary, error) {
 	switch p.Name {
 	case "P1":
@@ -280,81 +266,65 @@ func searchP5PB(t Tables, opts Options) Summary {
 // shared prefix a→b makes the paths dependent, so flows are computed on
 // the assembled instance (Figure 8(b)'s "hard pattern" case).
 func searchP4PB(n *tin.Network, t Tables, opts Options) (Summary, error) {
-	sum := Summary{Pattern: "P4"}
-	var err error
-	t.L3.Anchors(func(a tin.VertexID, rows []Row) {
-		if sum.Truncated || err != nil {
-			return
-		}
-		for x := range rows {
-			for y := range rows {
-				if x == y {
-					continue
-				}
-				if rows[x].Verts[1] != rows[y].Verts[1] {
-					continue // must share b
-				}
-				c, d := rows[x].Verts[2], rows[y].Verts[2]
-				if c >= d {
-					continue // canonical order kills the automorphism
-				}
-				inst := &Instance{
-					V: []tin.VertexID{a, rows[x].Verts[1], c, d},
-					EdgeIDs: []tin.EdgeID{
-						rows[x].Edges[0], // a->b
-						rows[x].Edges[1], // b->c
-						rows[y].Edges[1], // b->d
-						rows[x].Edges[2], // c->a
-						rows[y].Edges[2], // d->a
-					},
-				}
-				f, ferr := InstanceFlow(n, P4, inst, opts.Engine)
-				if ferr != nil {
-					err = ferr
-					return
-				}
-				sum.Instances++
-				sum.TotalFlow += f
-				if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
-					sum.Truncated = true
-					return
+	return searchInstances(P4, n, opts, false, func(emit func(*Instance) bool) {
+		stopped := false
+		t.L3.Anchors(func(a tin.VertexID, rows []Row) {
+			if stopped {
+				return
+			}
+			for x := range rows {
+				for y := range rows {
+					if x == y {
+						continue
+					}
+					if rows[x].Verts[1] != rows[y].Verts[1] {
+						continue // must share b
+					}
+					c, d := rows[x].Verts[2], rows[y].Verts[2]
+					if c >= d {
+						continue // canonical order kills the automorphism
+					}
+					inst := &Instance{
+						V: []tin.VertexID{a, rows[x].Verts[1], c, d},
+						EdgeIDs: []tin.EdgeID{
+							rows[x].Edges[0], // a->b
+							rows[x].Edges[1], // b->c
+							rows[y].Edges[1], // b->d
+							rows[x].Edges[2], // c->a
+							rows[y].Edges[2], // d->a
+						},
+					}
+					if !emit(inst) {
+						stopped = true
+						return
+					}
 				}
 			}
-		}
+		})
 	})
-	return sum, err
 }
 
 // searchP6PB scans L3 and verifies the feedback chord b→a in the graph —
 // the Figure 8(b) plan: precomputed paths locate candidates, the input
 // graph supplies the missing edge, and the flow is computed per instance.
 func searchP6PB(n *tin.Network, t Tables, opts Options) (Summary, error) {
-	sum := Summary{Pattern: "P6"}
-	var err error
-	for i := range t.L3.Rows {
-		r := &t.L3.Rows[i]
-		a, b, c := r.Verts[0], r.Verts[1], r.Verts[2]
-		chord, ok := n.HasEdge(b, a)
-		if !ok {
-			continue
+	return searchInstances(P6, n, opts, false, func(emit func(*Instance) bool) {
+		for i := range t.L3.Rows {
+			r := &t.L3.Rows[i]
+			a, b, c := r.Verts[0], r.Verts[1], r.Verts[2]
+			chord, ok := n.HasEdge(b, a)
+			if !ok {
+				continue
+			}
+			inst := &Instance{
+				V:       []tin.VertexID{a, b, c},
+				EdgeIDs: []tin.EdgeID{r.Edges[0], r.Edges[1], r.Edges[2], chord},
+			}
+			if !emit(inst) {
+				return
+			}
 		}
-		inst := &Instance{
-			V:       []tin.VertexID{a, b, c},
-			EdgeIDs: []tin.EdgeID{r.Edges[0], r.Edges[1], r.Edges[2], chord},
-		}
-		f, ferr := InstanceFlow(n, P6, inst, opts.Engine)
-		if ferr != nil {
-			err = ferr
-			break
-		}
-		sum.Instances++
-		sum.TotalFlow += f
-		if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
-			sum.Truncated = true
-			break
-		}
-	}
-	return sum, err
+	})
 }
 
 // groupCycleTable aggregates a cycle table per anchor (RP2/RP3). With

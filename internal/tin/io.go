@@ -57,22 +57,38 @@ func SaveNetwork(path string, n *Network) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	return saveNetwork(f, strings.HasSuffix(path, ".gz"), n)
+}
+
+// fileWriter is the subset of *os.File that saveNetwork needs; tests
+// substitute implementations whose Sync or Close fail.
+type fileWriter interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// saveNetwork writes n to f, syncs and closes it. A Sync or Close failure
+// after a clean write is still reported: a file whose final flush to disk
+// failed is truncated, and must not report success.
+func saveNetwork(f fileWriter, gz bool, n *Network) error {
 	var w io.Writer = f
-	var gz *gzip.Writer
-	if strings.HasSuffix(path, ".gz") {
-		gz = gzip.NewWriter(f)
-		w = gz
+	var zw *gzip.Writer
+	if gz {
+		zw = gzip.NewWriter(f)
+		w = zw
 	}
-	if err := WriteNetwork(w, n); err != nil {
-		return err
+	err := WriteNetwork(w, n)
+	if err == nil && zw != nil {
+		err = zw.Close()
 	}
-	if gz != nil {
-		if err := gz.Close(); err != nil {
-			return err
-		}
+	if err == nil {
+		err = f.Sync()
 	}
-	return f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ReadNetwork parses the interaction text format. Vertex ids may appear in

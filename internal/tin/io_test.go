@@ -1,0 +1,113 @@
+package tin
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func ioTestNetwork() *Network {
+	n := NewNetwork(5)
+	n.AddInteraction(0, 1, 2, 5)
+	n.AddInteraction(0, 1, 2, 3) // duplicate timestamp: exercises tie-break order
+	n.AddInteraction(1, 2, 3, 4)
+	n.AddInteraction(2, 3, 4.5, 2.25)
+	n.AddInteraction(3, 4, 9, 1)
+	n.AddInteraction(2, 0, 6, 5)
+	n.Finalize()
+	return n
+}
+
+func sameNetwork(t *testing.T, a, b *Network) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() ||
+		a.NumInteractions() != b.NumInteractions() {
+		t.Fatalf("shape differs: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		ea := a.Edge(EdgeID(e))
+		id, ok := b.HasEdge(ea.From, ea.To)
+		if !ok {
+			t.Fatalf("edge %d->%d missing after reload", ea.From, ea.To)
+		}
+		eb := b.Edge(id)
+		if len(ea.Seq) != len(eb.Seq) {
+			t.Fatalf("edge %d->%d: %d vs %d interactions", ea.From, ea.To, len(ea.Seq), len(eb.Seq))
+		}
+		for i := range ea.Seq {
+			if ea.Seq[i] != eb.Seq[i] { // includes Ord: canonical order must survive
+				t.Fatalf("edge %d->%d interaction %d: %+v vs %+v", ea.From, ea.To, i, ea.Seq[i], eb.Seq[i])
+			}
+		}
+	}
+}
+
+// TestSaveLoadRoundTrip covers both the plain and the gzip path, checking
+// that the canonical interaction order (tie-breaks included) survives.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n := ioTestNetwork()
+	for _, name := range []string{"net.txt", "net.txt.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := SaveNetwork(path, n); err != nil {
+			t.Fatalf("SaveNetwork(%s): %v", name, err)
+		}
+		m, err := LoadNetwork(path)
+		if err != nil {
+			t.Fatalf("LoadNetwork(%s): %v", name, err)
+		}
+		sameNetwork(t, n, m)
+	}
+}
+
+// failingFile wraps an in-memory file and fails on demand, standing in for
+// a file whose final flush to disk fails.
+type failingFile struct {
+	bytes.Buffer
+	syncErr  error
+	closeErr error
+	closed   bool
+}
+
+func (f *failingFile) Sync() error { return f.syncErr }
+func (f *failingFile) Close() error {
+	f.closed = true
+	return f.closeErr
+}
+
+// TestSaveNetworkPropagatesCloseError is the regression test for the
+// silently-dropped Close error: a truncated file must not report success.
+func TestSaveNetworkPropagatesCloseError(t *testing.T) {
+	n := ioTestNetwork()
+	wantClose := errors.New("close failed: disk full")
+	wantSync := errors.New("sync failed")
+
+	f := &failingFile{closeErr: wantClose}
+	if err := saveNetwork(f, false, n); !errors.Is(err, wantClose) {
+		t.Errorf("plain path: err=%v, want the Close error", err)
+	}
+	if !f.closed {
+		t.Errorf("file was not closed")
+	}
+
+	f = &failingFile{closeErr: wantClose}
+	if err := saveNetwork(f, true, n); !errors.Is(err, wantClose) {
+		t.Errorf("gzip path: err=%v, want the Close error", err)
+	}
+
+	f = &failingFile{syncErr: wantSync, closeErr: wantClose}
+	if err := saveNetwork(f, false, n); !errors.Is(err, wantSync) {
+		t.Errorf("sync+close failure: err=%v, want the Sync error (first failure wins)", err)
+	}
+	if !f.closed {
+		t.Errorf("file leaked after Sync failure")
+	}
+
+	f = &failingFile{}
+	if err := saveNetwork(f, false, n); err != nil {
+		t.Errorf("clean save: %v", err)
+	}
+	if f.Len() == 0 {
+		t.Errorf("clean save wrote nothing")
+	}
+}
