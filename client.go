@@ -1,0 +1,228 @@
+package flownet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"flownet/internal/server"
+)
+
+// Wire types of the flownetd HTTP/JSON API (see internal/server and
+// cmd/flownetd): the client below decodes exactly what the server encodes.
+type (
+	// FlowResult is one GET /flow answer.
+	FlowResult = server.FlowResult
+	// BatchRequest is the POST /flow/batch body.
+	BatchRequest = server.BatchRequest
+	// BatchResult is the POST /flow/batch answer.
+	BatchResult = server.BatchResult
+	// SeedFlowResult is one per-seed outcome inside a BatchResult.
+	SeedFlowResult = server.SeedFlowResult
+	// PatternResult is one GET /patterns answer.
+	PatternResult = server.PatternResult
+	// NetworkInfo describes one loaded network.
+	NetworkInfo = server.NetworkInfo
+	// EndpointStats are per-endpoint counters of GET /stats.
+	EndpointStats = server.EndpointStats
+	// StatsResult is the GET /stats answer.
+	StatsResult = server.StatsResult
+)
+
+// FlowQueryOptions are the optional knobs of Client.Flow and
+// Client.SeedFlow. The zero value selects the server defaults.
+type FlowQueryOptions struct {
+	// Hops bounds the §6.2 returning-path extraction (seed queries only;
+	// 0 = server default 3).
+	Hops int
+	// MaxInteractions caps extracted subgraphs (seed queries only; 0 =
+	// server default 10000, negative = no cap).
+	MaxInteractions int
+	// WindowFrom / WindowTo restrict flow to interactions inside the
+	// inclusive time window; nil leaves the corresponding side unbounded.
+	WindowFrom, WindowTo *float64
+}
+
+// PatternQueryOptions are the optional knobs of Client.Patterns. The zero
+// value searches exhaustively with the server's worker pool.
+type PatternQueryOptions struct {
+	// MaxInstances truncates the search (0 = exhaustive).
+	MaxInstances int64
+	// MinPaths filters relaxed-pattern instances by bundled path count.
+	MinPaths int
+	// Workers requests a per-query worker bound (clamped by the server).
+	Workers int
+}
+
+// Client is a minimal client for a flownetd server. The zero value is not
+// usable; construct with NewClient. Methods are safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the flownetd instance at baseURL (e.g.
+// "http://localhost:8080"), using http.DefaultClient.
+func NewClient(baseURL string) *Client {
+	return &Client{base: strings.TrimSuffix(baseURL, "/"), hc: http.DefaultClient}
+}
+
+// WithHTTPClient replaces the underlying *http.Client (timeouts, proxies,
+// test transports) and returns c for chaining.
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.hc = hc
+	return c
+}
+
+// Flow computes the maximum flow from source to sink in the named network
+// (network may be empty when the server has exactly one loaded).
+func (c *Client) Flow(ctx context.Context, network string, source, sink VertexID, opts *FlowQueryOptions) (FlowResult, error) {
+	q := url.Values{}
+	if network != "" {
+		q.Set("net", network)
+	}
+	q.Set("source", strconv.Itoa(int(source)))
+	q.Set("sink", strconv.Itoa(int(sink)))
+	addFlowOptions(q, opts, false)
+	var res FlowResult
+	err := c.get(ctx, "/flow", q, &res)
+	return res, err
+}
+
+// SeedFlow computes the §6.2 returning-path flow around a seed vertex.
+func (c *Client) SeedFlow(ctx context.Context, network string, seed VertexID, opts *FlowQueryOptions) (FlowResult, error) {
+	q := url.Values{}
+	if network != "" {
+		q.Set("net", network)
+	}
+	q.Set("seed", strconv.Itoa(int(seed)))
+	addFlowOptions(q, opts, true)
+	var res FlowResult
+	err := c.get(ctx, "/flow", q, &res)
+	return res, err
+}
+
+// BatchFlowSeeds runs the per-seed batch experiment on the server.
+func (c *Client) BatchFlowSeeds(ctx context.Context, req BatchRequest) (BatchResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/flow/batch", bytes.NewReader(body))
+	if err != nil {
+		return BatchResult{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	var res BatchResult
+	err = c.do(hreq, &res)
+	return res, err
+}
+
+// Patterns runs one pattern search ("P1".."P6", "RP1".."RP3") in mode "pb"
+// (precomputed tables; the default when mode is empty) or "gb".
+func (c *Client) Patterns(ctx context.Context, network, patternName, mode string, opts *PatternQueryOptions) (PatternResult, error) {
+	q := url.Values{}
+	if network != "" {
+		q.Set("net", network)
+	}
+	q.Set("pattern", patternName)
+	if mode != "" {
+		q.Set("mode", mode)
+	}
+	if opts != nil {
+		if opts.MaxInstances > 0 {
+			q.Set("max", strconv.FormatInt(opts.MaxInstances, 10))
+		}
+		if opts.MinPaths > 0 {
+			q.Set("minpaths", strconv.Itoa(opts.MinPaths))
+		}
+		if opts.Workers != 0 {
+			q.Set("workers", strconv.Itoa(opts.Workers))
+		}
+	}
+	var res PatternResult
+	err := c.get(ctx, "/patterns", q, &res)
+	return res, err
+}
+
+// Networks lists the server's loaded networks.
+func (c *Client) Networks(ctx context.Context) (map[string]NetworkInfo, error) {
+	var res map[string]NetworkInfo
+	err := c.get(ctx, "/networks", nil, &res)
+	return res, err
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats(ctx context.Context) (StatsResult, error) {
+	var res StatsResult
+	err := c.get(ctx, "/stats", nil, &res)
+	return res, err
+}
+
+func addFlowOptions(q url.Values, opts *FlowQueryOptions, seedMode bool) {
+	if opts == nil {
+		return
+	}
+	if seedMode {
+		if opts.Hops != 0 {
+			q.Set("hops", strconv.Itoa(opts.Hops))
+		}
+		if opts.MaxInteractions != 0 {
+			q.Set("maxinteractions", strconv.Itoa(opts.MaxInteractions))
+		}
+	}
+	if opts.WindowFrom != nil {
+		q.Set("from", strconv.FormatFloat(*opts.WindowFrom, 'g', -1, 64))
+	}
+	if opts.WindowTo != nil {
+		q.Set("to", strconv.FormatFloat(*opts.WindowTo, 'g', -1, 64))
+	}
+}
+
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// maxResponseBytes bounds how much of a response body the client reads; a
+// body at or over the bound is reported as an explicit error rather than
+// silently truncated into a JSON decode failure.
+const maxResponseBytes = 64 << 20
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	if err != nil {
+		return err
+	}
+	if len(body) > maxResponseBytes {
+		return fmt.Errorf("flownetd: response body exceeds %d bytes", maxResponseBytes)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("flownetd: %s (HTTP %d)", eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("flownetd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, out)
+}

@@ -1,0 +1,134 @@
+package flownet_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	flownet "flownet"
+	"flownet/internal/datagen"
+	"flownet/internal/server"
+)
+
+// startTestService spins up an in-process flownetd over a small synthetic
+// network and returns a client pointed at it.
+func startTestService(t *testing.T) (*flownet.Client, *flownet.Network) {
+	t.Helper()
+	n := datagen.Prosper(datagen.Config{Vertices: 100, Seed: 11})
+	s := server.New(server.Config{CacheSize: 32})
+	if err := s.AddNetwork("net", n); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return flownet.NewClient(ts.URL).WithHTTPClient(ts.Client()), n
+}
+
+func TestClientAgainstServer(t *testing.T) {
+	c, n := startTestService(t)
+	ctx := context.Background()
+
+	var seed flownet.VertexID = -1
+	extract := flownet.DefaultExtractOptions()
+	for v := 0; v < n.NumVertices(); v++ {
+		if _, ok := n.ExtractSubgraph(flownet.VertexID(v), extract); ok {
+			seed = flownet.VertexID(v)
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("fixture has no extractable seed")
+	}
+
+	// Seed flow must equal the direct library computation.
+	g, _ := n.ExtractSubgraph(seed, extract)
+	want, err := flownet.PreSim(g, flownet.EngineLP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.SeedFlow(ctx, "", seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok || res.Flow != want.Flow || res.Class != want.Class.String() {
+		t.Fatalf("client seed flow %+v != direct %+v", res, want)
+	}
+
+	// Batch must agree with BatchFlowSeeds.
+	batch, err := c.BatchFlowSeeds(ctx, flownet.BatchRequest{Seeds: []int{int(seed), 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := flownet.BatchFlowSeeds(n, []flownet.VertexID{seed, 0}, extract, flownet.BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 2 || batch.Results[0].Flow != direct[0].Flow || batch.Results[1].Ok != direct[1].Ok {
+		t.Fatalf("client batch %+v != direct %+v", batch.Results, direct)
+	}
+
+	// Pattern search (PB) must agree with SearchPB on chain-enabled tables.
+	tables := flownet.Precompute(n, true)
+	wantSum, err := flownet.SearchPB(n, tables, flownet.P2, flownet.PatternOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Patterns(ctx, "net", "P2", "pb", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Instances != wantSum.Instances || sum.TotalFlow != wantSum.TotalFlow {
+		t.Fatalf("client pattern %+v != direct %+v", sum, wantSum)
+	}
+
+	// Introspection endpoints.
+	nets, err := c.Networks(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nets["net"].Vertices != n.NumVertices() {
+		t.Fatalf("unexpected networks payload %+v", nets)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Endpoints["/flow"].Requests == 0 || stats.Endpoints["/patterns"].Requests == 0 {
+		t.Fatalf("stats did not count requests: %+v", stats.Endpoints)
+	}
+
+	// Server-side errors surface as descriptive client errors.
+	if _, err := c.Patterns(ctx, "", "P99", "", nil); err == nil || !strings.Contains(err.Error(), "unknown pattern") {
+		t.Fatalf("expected an unknown-pattern error, got %v", err)
+	}
+	if _, err := c.Flow(ctx, "missing", 0, 1, nil); err == nil || !strings.Contains(err.Error(), "unknown network") {
+		t.Fatalf("expected an unknown-network error, got %v", err)
+	}
+}
+
+func TestClientWindowOptions(t *testing.T) {
+	c, n := startTestService(t)
+	ctx := context.Background()
+
+	var seed flownet.VertexID = -1
+	for v := 0; v < n.NumVertices(); v++ {
+		if _, ok := n.ExtractSubgraph(flownet.VertexID(v), flownet.DefaultExtractOptions()); ok {
+			seed = flownet.VertexID(v)
+			break
+		}
+	}
+	from, to := 0.0, 500.0
+	res, err := c.SeedFlow(ctx, "net", seed, &flownet.FlowQueryOptions{WindowFrom: &from, WindowTo: &to})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := n.ExtractSubgraph(seed, flownet.DefaultExtractOptions())
+	want, err := flownet.PreSim(g.RestrictWindow(from, to), flownet.EngineLP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != want.Flow {
+		t.Fatalf("windowed client flow %v != direct %v", res.Flow, want.Flow)
+	}
+}

@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// JSON document (stdout), so CI can archive benchmark runs as comparable
+// artifacts (BENCH_ci.json) and the performance trajectory accumulates
+// across commits:
+//
+//	go test ./internal/bench -bench . -benchtime 1x | benchjson > BENCH_ci.json
+//
+// Every benchmark line ("BenchmarkX-8  10  123 ns/op  45 B/op ...") becomes
+// one entry with its full metric set; goos/goarch/pkg/cpu header lines are
+// carried into the envelope.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Runs is the iteration count (the first column after the name).
+	Runs int64 `json:"runs"`
+	// Metrics maps unit -> value for every "value unit" pair on the line
+	// (ns/op, B/op, allocs/op, and any custom ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON envelope written to stdout.
+type Report struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output and extracts headers and benchmark
+// lines, ignoring everything else (PASS/ok lines, test logs).
+func parse(r io.Reader) (Report, error) {
+	rep := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkName-P  runs  v1 u1  v2 u2 ..." line.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	name, procs := fields[0], 1
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil && p > 0 {
+			name, procs = name[:i], p
+		}
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Runs: runs, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

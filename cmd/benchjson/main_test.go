@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: flownet/internal/bench
+cpu: AMD EPYC 7B13
+BenchmarkBatchSeedsSequential-8   	       1	  51234567 ns/op
+BenchmarkBatchSeedsParallel-8     	       2	  12345678 ns/op	  4096 B/op	      12 allocs/op
+BenchmarkNoSuffix 	       3	  100 ns/op
+--- BENCH: some test log line
+PASS
+ok  	flownet/internal/bench	1.234s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "flownet/internal/bench" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("bad envelope %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkBatchSeedsSequential" || b.Procs != 8 || b.Runs != 1 || b.Metrics["ns/op"] != 51234567 {
+		t.Fatalf("bad first benchmark %+v", b)
+	}
+	b = rep.Benchmarks[1]
+	if b.Metrics["B/op"] != 4096 || b.Metrics["allocs/op"] != 12 {
+		t.Fatalf("bad metrics %+v", b.Metrics)
+	}
+	b = rep.Benchmarks[2]
+	if b.Name != "BenchmarkNoSuffix" || b.Procs != 1 || b.Runs != 3 {
+		t.Fatalf("bad suffixless benchmark %+v", b)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := parse(strings.NewReader("BenchmarkBroken-4 notanumber ns/op\nrandom text\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("garbage parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}

@@ -1,0 +1,112 @@
+// Command flownetd is a resident flow-query service: it loads one or more
+// temporal interaction networks once and serves flow and pattern queries
+// over HTTP/JSON until terminated (SIGINT/SIGTERM shut it down gracefully,
+// draining in-flight requests).
+//
+//	flownetd -listen :8080 -net transfers=transfers.txt.gz -net ctu=ctu.txt
+//
+// Endpoints (see internal/server and the README's Serving section):
+//
+//	GET  /flow?net=transfers&source=0&sink=42
+//	GET  /flow?net=transfers&seed=143&hops=3[&from=10&to=90]
+//	POST /flow/batch        {"network":"transfers","seeds":[1,2,143]}
+//	GET  /patterns?net=transfers&pattern=P3&mode=pb
+//	GET  /networks          GET /stats          GET /healthz
+//
+// Repeated queries are memoized in a bounded LRU (-cache-size entries) and
+// replayed byte-identically; -workers bounds every worker pool.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"flownet"
+	"flownet/internal/server"
+)
+
+// netList collects repeated -net flags ("name=path", or a bare path whose
+// basename becomes the name).
+type netList []string
+
+func (f *netList) String() string     { return strings.Join(*f, ",") }
+func (f *netList) Set(v string) error { *f = append(*f, v); return nil }
+
+func main() {
+	var nets netList
+	var (
+		listen     = flag.String("listen", ":8080", "address to serve on")
+		workers    = flag.Int("workers", 0, "worker pool bound for batch and pattern queries (0 = GOMAXPROCS, 1 = sequential)")
+		cacheSize  = flag.Int("cache-size", 4096, "result cache capacity in entries (0 = disable caching)")
+		engine     = flag.String("engine", "lp", "exact engine for class-C instances: lp | teg")
+		precompute = flag.Bool("precompute", false, "build the PB pattern tables of every network at startup instead of on first use")
+	)
+	flag.Var(&nets, "net", "network to load, as name=path or path (repeatable)")
+	flag.Parse()
+	if len(nets) == 0 {
+		fmt.Fprintln(os.Stderr, "flownetd: at least one -net is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	eng := flownet.EngineLP
+	switch *engine {
+	case "lp":
+	case "teg":
+		eng = flownet.EngineTEG
+	default:
+		fmt.Fprintf(os.Stderr, "flownetd: unknown engine %q (want lp or teg)\n", *engine)
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{Workers: *workers, CacheSize: *cacheSize, Engine: eng})
+	for _, spec := range nets {
+		name, path := splitNetSpec(spec)
+		t0 := time.Now()
+		n, err := flownet.LoadNetwork(path)
+		if err != nil {
+			log.Fatalf("flownetd: loading %s: %v", path, err)
+		}
+		if err := srv.AddNetwork(name, n); err != nil {
+			log.Fatalf("flownetd: %v", err)
+		}
+		log.Printf("loaded %q from %s: %d vertices, %d edges, %d interactions (%v)",
+			name, path, n.NumVertices(), n.NumEdges(), n.NumInteractions(),
+			time.Since(t0).Round(time.Millisecond))
+	}
+	if *precompute {
+		t0 := time.Now()
+		srv.PrecomputeTables()
+		log.Printf("precomputed pattern tables (%v)", time.Since(t0).Round(time.Millisecond))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving on %s (workers=%d, cache-size=%d, engine=%s)", *listen, *workers, *cacheSize, *engine)
+	if err := srv.ListenAndServe(ctx, *listen); err != nil {
+		log.Fatalf("flownetd: %v", err)
+	}
+	log.Print("shut down cleanly")
+}
+
+// splitNetSpec splits "name=path" (or derives the name from a bare path's
+// basename, with .txt/.gz extensions stripped).
+func splitNetSpec(spec string) (name, path string) {
+	if i := strings.IndexByte(spec, '='); i >= 0 {
+		return spec[:i], spec[i+1:]
+	}
+	name = spec
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	for _, suffix := range []string{".gz", ".txt"} {
+		name = strings.TrimSuffix(name, suffix)
+	}
+	return name, spec
+}

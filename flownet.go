@@ -46,6 +46,16 @@
 // BatchFlowSeeds run the PreSim pipeline over many independent instances
 // or seeds concurrently.
 //
+// # Serving
+//
+// cmd/flownetd turns the library into a resident query service: networks
+// are loaded once and flow, batch and pattern queries are answered over
+// HTTP/JSON, with repeated queries memoized in a bounded LRU and replayed
+// byte-identically. Client (NewClient) is the matching Go client; the wire
+// types (FlowResult, BatchRequest, PatternResult, StatsResult, ...) are
+// shared with the server. See the README's Serving section for a curl
+// walkthrough.
+//
 // # Reproduction
 //
 // cmd/repro regenerates every table and figure of the paper's evaluation on

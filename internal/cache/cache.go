@@ -1,0 +1,114 @@
+// Package cache provides a small, thread-safe, bounded LRU map. It backs
+// the result cache of the flownetd query service (internal/server): loaded
+// networks are immutable, so a (network, query) pair always produces the
+// same answer and memoizing it turns repeated queries into O(1) lookups.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of a cache's effectiveness counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Len       int    `json:"len"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Cache is a bounded LRU from K to V, safe for concurrent use. A capacity
+// of zero or less disables it entirely — Get always misses and Put is a
+// no-op — so callers need no special-casing for the "caching off" path.
+type Cache[K comparable, V any] struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used; values are *entry[K, V]
+	items     map[K]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New creates a cache holding at most capacity entries.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	c := &Cache[K, V]{capacity: capacity}
+	if capacity > 0 {
+		c.ll = list.New()
+		c.items = make(map[K]*list.Element, capacity)
+	}
+	return c
+}
+
+// Get returns the value stored under k and marks it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	var zero V
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		c.misses++
+		return zero, false
+	}
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Put inserts or refreshes k -> v, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
+		c.evictions++
+	}
+	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return 0
+	}
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the hit/miss/eviction counters.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Capacity:  c.capacity,
+	}
+	if c.capacity > 0 {
+		s.Len = c.ll.Len()
+	}
+	return s
+}

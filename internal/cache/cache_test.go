@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHitAndMiss(t *testing.T) {
+	c := New[string, int](4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v; want 1, true", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Evictions != 0 || s.Len != 1 || s.Capacity != 4 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 10)
+	c.Put(2, 20)
+	// Touch 1 so that 2 becomes the LRU entry, then overflow.
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("expected hit on 1")
+	}
+	c.Put(3, 30)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted (least recently used)")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("1 should have survived (recently used)")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Fatal("3 should be present")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Len != 2 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 3) // refresh, not insert: no eviction
+	if s := c.Stats(); s.Evictions != 0 || s.Len != 2 {
+		t.Fatalf("unexpected stats %+v", s)
+	}
+	if v, _ := c.Get("a"); v != 3 {
+		t.Fatalf("Get(a) = %d; want the refreshed value 3", v)
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		c := New[string, int](capacity)
+		c.Put("a", 1)
+		if _, ok := c.Get("a"); ok {
+			t.Fatalf("capacity %d: disabled cache returned a hit", capacity)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("capacity %d: Len = %d; want 0", capacity, c.Len())
+		}
+		if s := c.Stats(); s.Misses != 1 || s.Hits != 0 {
+			t.Fatalf("capacity %d: unexpected stats %+v", capacity, s)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int, int](64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (w*31 + i) % 100
+				c.Put(k, k)
+				if v, ok := c.Get(k); ok && v != k {
+					panic(fmt.Sprintf("corrupted value %d under key %d", v, k))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("cache exceeded its bound: %d entries", c.Len())
+	}
+}

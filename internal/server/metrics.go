@@ -1,0 +1,56 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// endpointMetrics hold the per-endpoint counters surfaced at /stats. All
+// fields are atomics; the struct is shared by every request to its route.
+type endpointMetrics struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	cacheHits atomic.Uint64
+	latencyNs atomic.Int64
+}
+
+func (m *endpointMetrics) snapshot() EndpointStats {
+	s := EndpointStats{
+		Requests:  m.requests.Load(),
+		Errors:    m.errors.Load(),
+		CacheHits: m.cacheHits.Load(),
+	}
+	if s.Requests > 0 {
+		s.AvgLatencyMs = float64(m.latencyNs.Load()) / float64(s.Requests) / 1e6
+	}
+	return s
+}
+
+// statusRecorder captures the status code a handler wrote so the metrics
+// wrapper can count errors.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request / error / latency counters of
+// its route.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	m := s.metrics[route]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		m.requests.Add(1)
+		if rec.status >= 400 {
+			m.errors.Add(1)
+		}
+		m.latencyNs.Add(time.Since(t0).Nanoseconds())
+	})
+}

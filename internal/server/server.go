@@ -1,0 +1,629 @@
+// Package server implements flownetd, a resident flow-query service over
+// temporal interaction networks (cmd/flownetd is the thin CLI wrapper).
+//
+// The paper's §6.2 workload — many independent source/sink flow queries and
+// pattern searches against one large network — pays full process startup
+// and disk load per query when run through the CLIs. flownetd instead loads
+// each network once, keeps it resident, and answers queries over HTTP/JSON:
+//
+//	GET  /flow        one flow computation (pair or seed addressing)
+//	POST /flow/batch  the §6.2 per-seed experiment on a worker pool
+//	GET  /patterns    a pattern search (GB, or PB over lazily built tables)
+//	GET  /networks    the loaded networks and their sizes
+//	GET  /stats       per-endpoint counters, cache stats, uptime
+//	GET  /healthz     liveness probe
+//
+// Loaded networks are finalized and immutable and every query entry point
+// of the library is read-only (see the root package's Concurrency section),
+// so requests are served fully concurrently. Successful /flow, /flow/batch
+// and /patterns responses are memoized in a bounded LRU (internal/cache)
+// keyed by the normalized query, and cached hits replay the stored bytes
+// verbatim — a repeated query returns a byte-identical body without
+// touching the flow machinery. The X-Flownet-Cache response header reports
+// "hit" or "miss".
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flownet/internal/cache"
+	"flownet/internal/core"
+	"flownet/internal/par"
+	"flownet/internal/pattern"
+	"flownet/internal/teg"
+	"flownet/internal/tin"
+)
+
+// Defaults of the §6.2 extraction knobs (tin.DefaultExtractOptions) and of
+// the request body cap.
+const (
+	defaultHops    = 3
+	defaultMaxIA   = 10000
+	maxBodyBytes   = 8 << 20
+	maxCachedBytes = 4 << 20
+)
+
+// Window bounds used when only one side of (from, to) is given.
+var (
+	negInf = math.Inf(-1)
+	posInf = math.Inf(1)
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers bounds every worker pool the server uses (batch flow and
+	// per-instance pattern flows): 0 selects GOMAXPROCS, 1 or negative
+	// runs sequentially. Per-request workers are clamped to this bound.
+	Workers int
+	// CacheSize is the result cache capacity in entries; 0 or negative
+	// disables caching.
+	CacheSize int
+	// Engine is the exact solver for class-C instances (default EngineLP).
+	Engine core.Engine
+}
+
+// Server holds loaded networks and serves flow and pattern queries over
+// them. Create one with New, add finalized networks with AddNetwork, then
+// serve Handler (or call ListenAndServe).
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	nets    map[string]*netEntry
+	cache   *cache.Cache[string, []byte]
+	started time.Time
+	metrics map[string]*endpointMetrics
+}
+
+// netEntry is one loaded network plus its lazily built PB path tables.
+type netEntry struct {
+	name        string
+	net         *tin.Network
+	tablesOnce  sync.Once
+	tables      pattern.Tables
+	tablesReady atomic.Bool
+}
+
+// getTables builds the PB path tables on first use (with the C2 chain table
+// included, so every catalogue pattern has a PB plan) and returns them.
+func (e *netEntry) getTables() pattern.Tables {
+	e.tablesOnce.Do(func() {
+		e.tables = pattern.Precompute(e.net, true)
+		e.tablesReady.Store(true)
+	})
+	return e.tables
+}
+
+// routes lists every instrumented endpoint, in /stats display order.
+var routes = []string{"/flow", "/flow/batch", "/patterns", "/networks", "/stats", "/healthz"}
+
+// New creates a server with no networks loaded.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		nets:    make(map[string]*netEntry),
+		cache:   cache.New[string, []byte](cfg.CacheSize),
+		started: time.Now(),
+		metrics: make(map[string]*endpointMetrics, len(routes)),
+	}
+	for _, r := range routes {
+		s.metrics[r] = &endpointMetrics{}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.Handle("GET /flow", s.instrument("/flow", s.handleFlow))
+	s.mux.Handle("POST /flow/batch", s.instrument("/flow/batch", s.handleBatch))
+	s.mux.Handle("GET /patterns", s.instrument("/patterns", s.handlePatterns))
+	s.mux.Handle("GET /networks", s.instrument("/networks", s.handleNetworks))
+	s.mux.Handle("GET /stats", s.instrument("/stats", s.handleStats))
+	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	return s
+}
+
+// AddNetwork registers a finalized network under the given name. When
+// exactly one network is loaded, requests may omit the network parameter.
+func (s *Server) AddNetwork(name string, n *tin.Network) error {
+	if name == "" || strings.ContainsAny(name, "|\n") {
+		return fmt.Errorf("server: invalid network name %q", name)
+	}
+	if n == nil || !n.Finalized() {
+		return fmt.Errorf("server: network %q must be non-nil and finalized", name)
+	}
+	if _, dup := s.nets[name]; dup {
+		return fmt.Errorf("server: network %q already loaded", name)
+	}
+	s.nets[name] = &netEntry{name: name, net: n}
+	return nil
+}
+
+// PrecomputeTables eagerly builds the PB path tables of every loaded
+// network (they are otherwise built on the first /patterns?mode=pb query).
+func (s *Server) PrecomputeTables() {
+	for _, e := range s.nets {
+		e.getTables()
+	}
+}
+
+// Handler returns the service's HTTP handler. It is safe for concurrent
+// use; register networks with AddNetwork before serving.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves Handler on addr until ctx is cancelled, then shuts
+// down gracefully, draining in-flight requests for up to 10 seconds. It
+// returns nil after a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// network resolves the "net" query parameter (or BatchRequest.Network):
+// empty selects the sole loaded network, anything else must match a name.
+func (s *Server) network(name string) (*netEntry, error) {
+	if name == "" {
+		if len(s.nets) == 1 {
+			for _, e := range s.nets {
+				return e, nil
+			}
+		}
+		return nil, fmt.Errorf("%d networks loaded; pass net=<name>", len(s.nets))
+	}
+	e, ok := s.nets[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown network %q", name)
+	}
+	return e, nil
+}
+
+// workers clamps a per-request worker count to the server's bound.
+func (s *Server) workers(requested int) int {
+	limit := par.Workers(s.cfg.Workers)
+	if requested == 0 {
+		return limit
+	}
+	if w := par.Workers(requested); w < limit {
+		return w
+	}
+	return limit
+}
+
+// ---- response plumbing ------------------------------------------------
+
+func writeRaw(w http.ResponseWriter, status int, body []byte, cacheStatus string) {
+	w.Header().Set("Content-Type", "application/json")
+	if cacheStatus != "" {
+		w.Header().Set("X-Flownet-Cache", cacheStatus)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeRaw(w, status, append(body, '\n'), "")
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// respond marshals a successful result, memoizes it under key (unless key
+// is empty) and writes it with the cache-status header. Bodies above
+// maxCachedBytes are served but not cached: the LRU is bounded in entry
+// count, so admitting huge batch responses would make its byte footprint
+// effectively unbounded.
+func (s *Server) respond(w http.ResponseWriter, key string, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	body = append(body, '\n')
+	if key != "" && len(body) <= maxCachedBytes {
+		s.cache.Put(key, body)
+	}
+	writeRaw(w, http.StatusOK, body, "miss")
+}
+
+// serveCached replays a memoized response if one exists.
+func (s *Server) serveCached(w http.ResponseWriter, route, key string) bool {
+	body, ok := s.cache.Get(key)
+	if !ok {
+		return false
+	}
+	s.metrics[route].cacheHits.Add(1)
+	writeRaw(w, http.StatusOK, body, "hit")
+	return true
+}
+
+// ---- parameter parsing ------------------------------------------------
+
+// intParam parses an integer query parameter, returning def when absent.
+func intParam(q url.Values, name string, def int) (int, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s=%q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+// floatParam parses a float query parameter; ok is false when absent.
+func floatParam(q url.Values, name string) (float64, bool, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return 0, false, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("parameter %s=%q is not a number", name, raw)
+	}
+	return v, true, nil
+}
+
+func (s *Server) vertexParam(q url.Values, name string, n *tin.Network) (tin.VertexID, bool, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return 0, false, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 || v >= n.NumVertices() {
+		return 0, true, fmt.Errorf("parameter %s=%q is not a vertex id in [0,%d)", name, raw, n.NumVertices())
+	}
+	return tin.VertexID(v), true, nil
+}
+
+// extractParams parses the shared §6.2 extraction knobs: hops (default 3,
+// must be >= 2) and maxinteractions (default 10000, negative = no cap).
+func extractParams(hops, maxIA int) (tin.ExtractOptions, error) {
+	if hops == 0 {
+		hops = defaultHops
+	}
+	if hops < 2 {
+		return tin.ExtractOptions{}, fmt.Errorf("hops must be >= 2, got %d", hops)
+	}
+	if maxIA == 0 {
+		maxIA = defaultMaxIA
+	} else if maxIA < 0 {
+		maxIA = 0 // tin's "no cap"
+	}
+	return tin.ExtractOptions{MaxHops: hops, MaxInteractions: maxIA}, nil
+}
+
+// fmtFloat renders a float for cache keys (shortest round-trip form).
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ---- handlers ---------------------------------------------------------
+
+// handleFlow answers GET /flow. Addressing is either pair (source, sink) or
+// seed (seed, with the extraction knobs hops / maxinteractions); both
+// accept an optional inclusive time window (from, to) applied to the
+// extracted subgraph before solving.
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	e, err := s.network(q.Get("net"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	seed, seedMode, err := s.vertexParam(q, "seed", e.net)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	from, hasFrom, err1 := floatParam(q, "from")
+	to, hasTo, err2 := floatParam(q, "to")
+	if err := errors.Join(err1, err2); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	window := hasFrom || hasTo
+	if !hasFrom {
+		from = negInf
+	}
+	if !hasTo {
+		to = posInf
+	}
+	windowKey := ""
+	if window {
+		windowKey = fmtFloat(from) + ";" + fmtFloat(to)
+	}
+
+	if seedMode {
+		hops, err1 := intParam(q, "hops", 0)
+		maxIA, err2 := intParam(q, "maxinteractions", 0)
+		if err := errors.Join(err1, err2); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		opts, err := extractParams(hops, maxIA)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		key := fmt.Sprintf("flow|%s|seed|%d|%d|%d|%s", e.name, seed, opts.MaxHops, opts.MaxInteractions, windowKey)
+		if s.serveCached(w, "/flow", key) {
+			return
+		}
+		res := FlowResult{Network: e.name, Query: "seed", Seed: int(seed)}
+		g, ok := e.net.ExtractSubgraph(seed, opts)
+		if ok {
+			if window {
+				g = g.RestrictWindow(from, to)
+			}
+			if err := s.solveFlow(g, &res); err != nil {
+				writeError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+		}
+		s.respond(w, key, res)
+		return
+	}
+
+	src, haveSrc, err1 := s.vertexParam(q, "source", e.net)
+	snk, haveSnk, err2 := s.vertexParam(q, "sink", e.net)
+	if err := errors.Join(err1, err2); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !haveSrc || !haveSnk {
+		writeError(w, http.StatusBadRequest, "give either seed, or both source and sink")
+		return
+	}
+	if src == snk {
+		writeError(w, http.StatusBadRequest, "source and sink must differ (use seed=%d for returning-path flow)", src)
+		return
+	}
+	key := fmt.Sprintf("flow|%s|pair|%d|%d|%s", e.name, src, snk, windowKey)
+	if s.serveCached(w, "/flow", key) {
+		return
+	}
+	res := FlowResult{Network: e.name, Query: "pair", Source: int(src), Sink: int(snk)}
+	g, ok := e.net.FlowSubgraphBetween(src, snk)
+	if ok {
+		if window {
+			g = g.RestrictWindow(from, to)
+		}
+		if err := s.solveFlow(g, &res); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	s.respond(w, key, res)
+}
+
+// solveFlow runs the PreSim pipeline on g (or the time-expanded engine when
+// g is cyclic — pair subgraphs may be) and fills res.
+func (s *Server) solveFlow(g *tin.Graph, res *FlowResult) error {
+	res.Ok = true
+	res.Vertices = g.NumLiveVertices()
+	res.Edges = g.NumLiveEdges()
+	res.Interactions = g.NumInteractions()
+	if !g.IsDAG() {
+		res.Flow = teg.MaxFlow(g)
+		res.Method = "teg"
+		res.UsedEngine = true
+		return nil
+	}
+	r, err := core.PreSim(g, s.cfg.Engine)
+	if err != nil {
+		return err
+	}
+	res.Flow = r.Flow
+	res.Class = r.Class.String()
+	res.Method = "presim"
+	res.UsedEngine = r.UsedEngine
+	return nil
+}
+
+// handleBatch answers POST /flow/batch: BatchFlowSeeds over the JSON-listed
+// seeds (or every vertex with "all": true).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	e, err := s.network(req.Network)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	opts, err := extractParams(req.Hops, req.MaxInteractions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var seeds []tin.VertexID
+	var seedsKey string
+	switch {
+	case req.All && len(req.Seeds) > 0:
+		writeError(w, http.StatusBadRequest, "give either seeds or all, not both")
+		return
+	case req.All:
+		seeds = make([]tin.VertexID, e.net.NumVertices())
+		for i := range seeds {
+			seeds[i] = tin.VertexID(i)
+		}
+		seedsKey = "all"
+	case len(req.Seeds) > 0:
+		var b strings.Builder
+		for i, v := range req.Seeds {
+			if v < 0 || v >= e.net.NumVertices() {
+				writeError(w, http.StatusBadRequest, "seed %d is not a vertex id in [0,%d)", v, e.net.NumVertices())
+				return
+			}
+			seeds = append(seeds, tin.VertexID(v))
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(v))
+		}
+		seedsKey = b.String()
+		// Long seed lists are hashed so the entry-count-bounded LRU does
+		// not hold multi-MB keys.
+		if len(seedsKey) > 64 {
+			sum := sha256.Sum256([]byte(seedsKey))
+			seedsKey = "h:" + hex.EncodeToString(sum[:])
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "no seeds given (pass seeds or all)")
+		return
+	}
+	// Workers are excluded from the key: results are identical for every
+	// worker count (see the library's Concurrency guarantee).
+	key := fmt.Sprintf("batch|%s|%d|%d|%s", e.name, opts.MaxHops, opts.MaxInteractions, seedsKey)
+	if s.serveCached(w, "/flow/batch", key) {
+		return
+	}
+	results, err := core.BatchSeeds(e.net, seeds, opts, s.cfg.Engine, s.workers(req.Workers))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	res := BatchResult{Network: e.name, Results: make([]SeedFlowResult, len(results))}
+	for i, r := range results {
+		res.Results[i] = SeedFlowResult{Seed: int(r.Seed), Ok: r.Ok}
+		if r.Ok {
+			res.Results[i].Flow = r.Flow
+			res.Results[i].Class = r.Class.String()
+			res.Solved++
+			res.TotalFlow += r.Flow
+		}
+	}
+	s.respond(w, key, res)
+}
+
+// handlePatterns answers GET /patterns: one catalogue pattern search, PB
+// (default; tables built lazily per network) or GB.
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	e, err := s.network(q.Get("net"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	name := q.Get("pattern")
+	p := pattern.ByName(name)
+	if p == nil {
+		writeError(w, http.StatusBadRequest, "unknown pattern %q (want P1..P6 or RP1..RP3)", name)
+		return
+	}
+	mode := q.Get("mode")
+	if mode == "" {
+		mode = "pb"
+	}
+	if mode != "pb" && mode != "gb" {
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want pb or gb)", mode)
+		return
+	}
+	maxInst, err1 := intParam(q, "max", 0)
+	minPaths, err2 := intParam(q, "minpaths", 0)
+	workers, err3 := intParam(q, "workers", 0)
+	if err := errors.Join(err1, err2, err3); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := fmt.Sprintf("patterns|%s|%s|%s|%d|%d", e.name, p.Name, mode, maxInst, minPaths)
+	if s.serveCached(w, "/patterns", key) {
+		return
+	}
+	opts := pattern.Options{
+		MaxInstances: int64(maxInst),
+		Engine:       s.cfg.Engine,
+		MinPaths:     minPaths,
+		Workers:      s.workers(workers),
+	}
+	var sum pattern.Summary
+	if mode == "pb" {
+		sum, err = pattern.SearchPB(e.net, e.getTables(), p, opts)
+	} else {
+		sum, err = pattern.SearchGB(e.net, p, opts)
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.respond(w, key, PatternResult{
+		Network:   e.name,
+		Pattern:   sum.Pattern,
+		Mode:      mode,
+		Instances: sum.Instances,
+		TotalFlow: sum.TotalFlow,
+		AvgFlow:   sum.AvgFlow(),
+		Truncated: sum.Truncated,
+	})
+}
+
+// handleNetworks answers GET /networks.
+func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.networkInfos())
+}
+
+// handleStats answers GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	res := StatsResult{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Networks:      s.networkInfos(),
+		Endpoints:     make(map[string]EndpointStats, len(routes)),
+		Cache:         s.cache.Stats(),
+	}
+	for _, route := range routes {
+		res.Endpoints[route] = s.metrics[route].snapshot()
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleHealthz answers GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) networkInfos() map[string]NetworkInfo {
+	infos := make(map[string]NetworkInfo, len(s.nets))
+	for name, e := range s.nets {
+		st := e.net.Stats()
+		infos[name] = NetworkInfo{
+			Vertices:     st.Vertices,
+			Edges:        st.Edges,
+			Interactions: st.Interactions,
+			AvgQty:       st.AvgQty,
+			TablesReady:  e.tablesReady.Load(),
+		}
+	}
+	return infos
+}

@@ -1,0 +1,115 @@
+package server
+
+import "flownet/internal/cache"
+
+// This file defines the JSON wire types of the flownetd HTTP API. The root
+// flownet package re-exports them so that client code can use the same
+// structs the server marshals.
+
+// FlowResult is the response of GET /flow: one flow computation, either
+// between an explicit source/sink pair or around a seed vertex (the §6.2
+// returning-path extraction with the seed split into source and sink).
+type FlowResult struct {
+	Network string `json:"network"`
+	// Query is "pair" or "seed".
+	Query  string `json:"query"`
+	Source int    `json:"source,omitempty"`
+	Sink   int    `json:"sink,omitempty"`
+	Seed   int    `json:"seed,omitempty"`
+	// Ok is false when no flow subgraph exists (the sink is unreachable
+	// from the source, or the seed has no returning path / exceeds the
+	// extraction cap). All remaining fields are zero then.
+	Ok   bool    `json:"ok"`
+	Flow float64 `json:"flow"`
+	// Class is the pipeline difficulty class ("A", "B", "C"), empty when
+	// the time-expanded fallback ran instead of the PreSim pipeline.
+	Class string `json:"class,omitempty"`
+	// Method is "presim", or "teg" for cyclic pair subgraphs (the PreSim
+	// pipeline requires DAGs; the time-expanded engine does not).
+	Method     string `json:"method,omitempty"`
+	UsedEngine bool   `json:"used_engine,omitempty"`
+	// Subgraph size actually solved (after any window restriction).
+	Vertices     int `json:"vertices,omitempty"`
+	Edges        int `json:"edges,omitempty"`
+	Interactions int `json:"interactions,omitempty"`
+}
+
+// BatchRequest is the POST /flow/batch body: the §6.2 per-seed experiment
+// over many seeds at once, backed by flownet.BatchFlowSeeds.
+type BatchRequest struct {
+	// Network may be empty when exactly one network is loaded.
+	Network string `json:"network,omitempty"`
+	// Seeds lists the seed vertices; All runs every vertex instead.
+	Seeds []int `json:"seeds,omitempty"`
+	All   bool  `json:"all,omitempty"`
+	// Hops is the extraction bound (0 = default 3).
+	Hops int `json:"hops,omitempty"`
+	// MaxInteractions caps extracted subgraphs (0 = default 10000,
+	// negative = no cap).
+	MaxInteractions int `json:"max_interactions,omitempty"`
+	// Workers bounds the worker pool for this request; the server clamps
+	// it to its own -workers setting. 0 selects the server default.
+	Workers int `json:"workers,omitempty"`
+}
+
+// SeedFlowResult is one per-seed outcome inside a BatchResult.
+type SeedFlowResult struct {
+	Seed int  `json:"seed"`
+	Ok   bool `json:"ok"`
+	// Flow and Class are zero / empty when Ok is false.
+	Flow  float64 `json:"flow,omitempty"`
+	Class string  `json:"class,omitempty"`
+}
+
+// BatchResult is the response of POST /flow/batch.
+type BatchResult struct {
+	Network   string           `json:"network"`
+	Solved    int              `json:"solved"`
+	TotalFlow float64          `json:"total_flow"`
+	Results   []SeedFlowResult `json:"results"`
+}
+
+// PatternResult is the response of GET /patterns: one pattern-search
+// summary in the shape of the paper's Tables 9–11.
+type PatternResult struct {
+	Network   string  `json:"network"`
+	Pattern   string  `json:"pattern"`
+	Mode      string  `json:"mode"` // "pb" or "gb"
+	Instances int64   `json:"instances"`
+	TotalFlow float64 `json:"total_flow"`
+	AvgFlow   float64 `json:"avg_flow"`
+	Truncated bool    `json:"truncated,omitempty"`
+}
+
+// NetworkInfo describes one loaded network (GET /networks, GET /stats).
+type NetworkInfo struct {
+	Vertices     int     `json:"vertices"`
+	Edges        int     `json:"edges"`
+	Interactions int     `json:"interactions"`
+	AvgQty       float64 `json:"avg_qty"`
+	// TablesReady reports whether the PB path tables have been built (they
+	// are precomputed lazily on the first /patterns?mode=pb query).
+	TablesReady bool `json:"tables_ready"`
+}
+
+// EndpointStats are the per-endpoint counters of GET /stats.
+type EndpointStats struct {
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	CacheHits uint64 `json:"cache_hits"`
+	// AvgLatencyMs is the mean wall-clock handler latency in milliseconds.
+	AvgLatencyMs float64 `json:"avg_latency_ms"`
+}
+
+// StatsResult is the response of GET /stats.
+type StatsResult struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Networks      map[string]NetworkInfo   `json:"networks"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	Cache         cache.Stats              `json:"cache"`
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
