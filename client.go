@@ -33,6 +33,16 @@ type (
 	EndpointStats = server.EndpointStats
 	// StatsResult is the GET /stats answer.
 	StatsResult = server.StatsResult
+	// IngestInteraction is one streamed interaction in a POST /ingest body.
+	IngestInteraction = server.IngestInteraction
+	// IngestRequest is the POST /ingest body.
+	IngestRequest = server.IngestRequest
+	// IngestResult is the POST /ingest answer.
+	IngestResult = server.IngestResult
+	// CreateNetworkRequest is the POST /networks body.
+	CreateNetworkRequest = server.CreateNetworkRequest
+	// CreateNetworkResult is the POST /networks answer.
+	CreateNetworkResult = server.CreateNetworkResult
 )
 
 // FlowQueryOptions are the optional knobs of Client.Flow and
@@ -110,17 +120,8 @@ func (c *Client) SeedFlow(ctx context.Context, network string, seed VertexID, op
 
 // BatchFlowSeeds runs the per-seed batch experiment on the server.
 func (c *Client) BatchFlowSeeds(ctx context.Context, req BatchRequest) (BatchResult, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return BatchResult{}, err
-	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/flow/batch", bytes.NewReader(body))
-	if err != nil {
-		return BatchResult{}, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
 	var res BatchResult
-	err = c.do(hreq, &res)
+	err := c.post(ctx, "/flow/batch", req, &res)
 	return res, err
 }
 
@@ -148,6 +149,24 @@ func (c *Client) Patterns(ctx context.Context, network, patternName, mode string
 	}
 	var res PatternResult
 	err := c.get(ctx, "/patterns", q, &res)
+	return res, err
+}
+
+// Ingest appends a time-ordered interaction batch to a loaded network
+// (POST /ingest). The server must run with ingestion enabled (flownetd
+// -allow-ingest); the returned result reports what was appended, parked
+// and the network's new generation.
+func (c *Client) Ingest(ctx context.Context, req IngestRequest) (IngestResult, error) {
+	var res IngestResult
+	err := c.post(ctx, "/ingest", req, &res)
+	return res, err
+}
+
+// CreateNetwork registers a new empty network with the given vertex count
+// (POST /networks), ready for Ingest. Requires -allow-ingest.
+func (c *Client) CreateNetwork(ctx context.Context, name string, vertices int) (CreateNetworkResult, error) {
+	var res CreateNetworkResult
+	err := c.post(ctx, "/networks", CreateNetworkRequest{Name: name, Vertices: vertices}, &res)
 	return res, err
 }
 
@@ -183,6 +202,19 @@ func addFlowOptions(q url.Values, opts *FlowQueryOptions, seedMode bool) {
 	if opts.WindowTo != nil {
 		q.Set("to", strconv.FormatFloat(*opts.WindowTo, 'g', -1, 64))
 	}
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
 }
 
 func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {

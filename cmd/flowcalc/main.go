@@ -16,48 +16,65 @@
 // presim). Example:
 //
 //	flowcalc -input transfers.txt.gz -seed 143 -method presim -v
+//
+// Exit codes: 0 on success, 1 on a runtime failure, 2 on a usage error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	flownet "flownet"
+	"flownet/internal/cli"
 )
 
 func main() {
+	cli.Exit("flowcalc", run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, loads the network and
+// executes one of the three addressing modes, writing results to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("flowcalc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		input   = flag.String("input", "", "interaction file (.txt or .txt.gz)")
-		source  = flag.Int("source", -1, "source vertex id")
-		sink    = flag.Int("sink", -1, "sink vertex id")
-		seed    = flag.Int("seed", -1, "extract the flow subgraph around this seed vertex instead")
-		hops    = flag.Int("hops", 3, "max returning-path hops for -seed extraction")
-		maxIA   = flag.Int("maxinteractions", 10000, "discard -seed subgraphs above this size (0 = no cap)")
-		method  = flag.String("method", "presim", "greedy | lp | teg | pre | presim")
-		seeds   = flag.String("seeds", "", "comma-separated seed list (or \"all\"): batch §6.2 extraction + PreSim per seed")
-		workers = flag.Int("workers", 0, "worker pool for -seeds batch mode (0 = GOMAXPROCS, 1 = sequential)")
-		verbose = flag.Bool("v", false, "print the graph and pipeline details")
+		input   = fs.String("input", "", "interaction file (.txt or .txt.gz)")
+		source  = fs.Int("source", -1, "source vertex id")
+		sink    = fs.Int("sink", -1, "sink vertex id")
+		seed    = fs.Int("seed", -1, "extract the flow subgraph around this seed vertex instead")
+		hops    = fs.Int("hops", 3, "max returning-path hops for -seed extraction")
+		maxIA   = fs.Int("maxinteractions", 10000, "discard -seed subgraphs above this size (0 = no cap)")
+		method  = fs.String("method", "presim", "greedy | lp | teg | pre | presim")
+		seeds   = fs.String("seeds", "", "comma-separated seed list (or \"all\"): batch §6.2 extraction + PreSim per seed")
+		workers = fs.Int("workers", 0, "worker pool for -seeds batch mode (0 = GOMAXPROCS, 1 = sequential)")
+		verbose = fs.Bool("v", false, "print the graph and pipeline details")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return cli.ErrUsage
+	}
 	if *input == "" {
-		fmt.Fprintln(os.Stderr, "flowcalc: -input is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "flowcalc: -input is required")
+		fs.Usage()
+		return cli.ErrUsage
 	}
 	n, err := flownet.LoadNetwork(*input)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("network: %d vertices, %d edges, %d interactions\n",
+	fmt.Fprintf(stdout, "network: %d vertices, %d edges, %d interactions\n",
 		n.NumVertices(), n.NumEdges(), n.NumInteractions())
 
 	if *seeds != "" {
-		runBatch(n, *seeds, *hops, *maxIA, *workers, *verbose)
-		return
+		return runBatch(stdout, n, *seeds, *hops, *maxIA, *workers, *verbose)
 	}
 
 	var g *flownet.Graph
@@ -66,82 +83,86 @@ func main() {
 		opts := flownet.ExtractOptions{MaxHops: *hops, MaxInteractions: *maxIA}
 		sub, ok := n.ExtractSubgraph(flownet.VertexID(*seed), opts)
 		if !ok {
-			fail(fmt.Errorf("no returning-path subgraph around seed %d (or above the size cap)", *seed))
+			return fmt.Errorf("no returning-path subgraph around seed %d (or above the size cap)", *seed)
 		}
 		g = sub
-		fmt.Printf("subgraph around seed %d: %d vertices, %d edges, %d interactions\n",
+		fmt.Fprintf(stdout, "subgraph around seed %d: %d vertices, %d edges, %d interactions\n",
 			*seed, g.NumLiveVertices(), g.NumLiveEdges(), g.NumInteractions())
 	case *source >= 0 && *sink >= 0:
 		sub, ok := n.FlowSubgraphBetween(flownet.VertexID(*source), flownet.VertexID(*sink))
 		if !ok {
-			fail(fmt.Errorf("vertex %d cannot reach vertex %d", *source, *sink))
+			return fmt.Errorf("vertex %d cannot reach vertex %d", *source, *sink)
 		}
 		g = sub
-		fmt.Printf("flow subgraph %d -> %d: %d vertices, %d edges, %d interactions\n",
+		fmt.Fprintf(stdout, "flow subgraph %d -> %d: %d vertices, %d edges, %d interactions\n",
 			*source, *sink, g.NumLiveVertices(), g.NumLiveEdges(), g.NumInteractions())
 		if !g.IsDAG() && (*method == "pre" || *method == "presim") {
-			fmt.Println("note: subgraph is cyclic; pre/presim require DAGs — falling back to teg")
+			fmt.Fprintln(stdout, "note: subgraph is cyclic; pre/presim require DAGs — falling back to teg")
 			*method = "teg"
 		}
 	default:
-		fail(fmt.Errorf("give either -seed, or both -source and -sink"))
+		fmt.Fprintln(stderr, "flowcalc: give either -seed, or both -source and -sink")
+		fs.Usage()
+		return cli.ErrUsage
 	}
 	if err := g.Validate(); err != nil {
-		fail(err)
+		return err
 	}
 	if *verbose {
-		fmt.Print(g)
+		fmt.Fprint(stdout, g)
 	}
 
 	switch *method {
 	case "greedy":
-		fmt.Printf("greedy flow: %g\n", flownet.Greedy(g))
+		fmt.Fprintf(stdout, "greedy flow: %g\n", flownet.Greedy(g))
 		if flownet.GreedySoluble(g) {
-			fmt.Println("note: graph satisfies Lemma 2 — this is the maximum flow")
+			fmt.Fprintln(stdout, "note: graph satisfies Lemma 2 — this is the maximum flow")
 		} else {
-			fmt.Println("note: graph is not greedy-soluble — this is only a lower bound")
+			fmt.Fprintln(stdout, "note: graph is not greedy-soluble — this is only a lower bound")
 		}
 	case "lp":
 		f, err := flownet.MaxFlowLP(g)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("maximum flow (LP baseline): %g\n", f)
+		fmt.Fprintf(stdout, "maximum flow (LP baseline): %g\n", f)
 	case "teg":
-		fmt.Printf("maximum flow (time-expanded Dinic): %g\n", flownet.MaxFlowTEG(g))
+		fmt.Fprintf(stdout, "maximum flow (time-expanded Dinic): %g\n", flownet.MaxFlowTEG(g))
 	case "pre", "presim":
-		run := flownet.Pre
+		pipeline := flownet.Pre
 		if *method == "presim" {
-			run = flownet.PreSim
+			pipeline = flownet.PreSim
 		}
-		res, err := run(g, flownet.EngineLP)
+		res, err := pipeline(g, flownet.EngineLP)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("maximum flow (%s): %g\n", *method, res.Flow)
+		fmt.Fprintf(stdout, "maximum flow (%s): %g\n", *method, res.Flow)
 		if *verbose {
-			fmt.Printf("class: %s\n", res.Class)
-			fmt.Printf("preprocessing removed: %d interactions, %d edges, %d vertices\n",
+			fmt.Fprintf(stdout, "class: %s\n", res.Class)
+			fmt.Fprintf(stdout, "preprocessing removed: %d interactions, %d edges, %d vertices\n",
 				res.Pre.Interactions, res.Pre.Edges, res.Pre.Vertices)
 			if *method == "presim" {
-				fmt.Printf("simplification: %d chains reduced, %d vertices removed\n",
+				fmt.Fprintf(stdout, "simplification: %d chains reduced, %d vertices removed\n",
 					res.Sim.ChainsReduced, res.Sim.Vertices)
 			}
 			if res.UsedEngine {
-				fmt.Printf("exact engine ran with %d LP variables\n", res.LPVariables)
+				fmt.Fprintf(stdout, "exact engine ran with %d LP variables\n", res.LPVariables)
 			} else {
-				fmt.Println("exact engine not needed (solved greedily)")
+				fmt.Fprintln(stdout, "exact engine not needed (solved greedily)")
 			}
 		}
 	default:
-		fail(fmt.Errorf("unknown method %q", *method))
+		fmt.Fprintf(stderr, "flowcalc: unknown method %q\n", *method)
+		return cli.ErrUsage
 	}
+	return nil
 }
 
 // runBatch is the -seeds mode: the §6.2 per-seed experiment (extraction +
 // PreSim) over many seeds at once, computed with flownet.BatchFlowSeeds on
 // a bounded worker pool.
-func runBatch(n *flownet.Network, list string, hops, maxIA, workers int, verbose bool) {
+func runBatch(stdout io.Writer, n *flownet.Network, list string, hops, maxIA, workers int, verbose bool) error {
 	var ids []flownet.VertexID
 	if list == "all" {
 		ids = make([]flownet.VertexID, n.NumVertices())
@@ -152,7 +173,7 @@ func runBatch(n *flownet.Network, list string, hops, maxIA, workers int, verbose
 		for _, part := range strings.Split(list, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || v < 0 || v >= n.NumVertices() {
-				fail(fmt.Errorf("bad seed %q (vertex ids are 0..%d)", part, n.NumVertices()-1))
+				return fmt.Errorf("bad seed %q (vertex ids are 0..%d)", part, n.NumVertices()-1)
 			}
 			ids = append(ids, flownet.VertexID(v))
 		}
@@ -161,26 +182,22 @@ func runBatch(n *flownet.Network, list string, hops, maxIA, workers int, verbose
 	t0 := time.Now()
 	results, err := flownet.BatchFlowSeeds(n, ids, opts, flownet.BatchOptions{Workers: workers})
 	if err != nil {
-		fail(err)
+		return err
 	}
 	solved := 0
 	total := 0.0
 	for _, r := range results {
 		if !r.Ok {
 			if verbose {
-				fmt.Printf("seed %-8d no returning-path subgraph (or above the size cap)\n", r.Seed)
+				fmt.Fprintf(stdout, "seed %-8d no returning-path subgraph (or above the size cap)\n", r.Seed)
 			}
 			continue
 		}
 		solved++
 		total += r.Flow
-		fmt.Printf("seed %-8d flow %-12g class %s\n", r.Seed, r.Flow, r.Class)
+		fmt.Fprintf(stdout, "seed %-8d flow %-12g class %s\n", r.Seed, r.Flow, r.Class)
 	}
-	fmt.Printf("%d/%d seeds with a flow subgraph, total flow %g, in %v\n",
+	fmt.Fprintf(stdout, "%d/%d seeds with a flow subgraph, total flow %g, in %v\n",
 		solved, len(ids), total, time.Since(t0).Round(time.Millisecond))
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "flowcalc:", err)
-	os.Exit(1)
+	return nil
 }

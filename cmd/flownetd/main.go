@@ -11,17 +11,28 @@
 //	GET  /flow?net=transfers&seed=143&hops=3[&from=10&to=90]
 //	POST /flow/batch        {"network":"transfers","seeds":[1,2,143]}
 //	GET  /patterns?net=transfers&pattern=P3&mode=pb
+//	POST /ingest            append interactions (requires -allow-ingest)
+//	POST /networks          register an empty network (requires -allow-ingest)
 //	GET  /networks          GET /stats          GET /healthz
 //
 // Repeated queries are memoized in a bounded LRU (-cache-size entries) and
-// replayed byte-identically; -workers bounds every worker pool.
+// replayed byte-identically; every ingested batch bumps the network's
+// generation, so stale answers are never replayed. -workers bounds every
+// worker pool. With -allow-ingest the service may start with no -net at
+// all and be populated entirely over HTTP.
+//
+// Exit codes: 0 after a clean shutdown, 1 on a runtime failure, 2 on a
+// usage error.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +40,7 @@ import (
 	"time"
 
 	"flownet"
+	"flownet/internal/cli"
 	"flownet/internal/server"
 )
 
@@ -40,20 +52,38 @@ func (f *netList) String() string     { return strings.Join(*f, ",") }
 func (f *netList) Set(v string) error { *f = append(*f, v); return nil }
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cli.Exit("flownetd", run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, loads the networks,
+// binds the listener (logging the resolved address, so -listen :0 works)
+// and serves until ctx is cancelled.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	logger := log.New(stderr, "", log.LstdFlags)
+	fs := flag.NewFlagSet("flownetd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var nets netList
 	var (
-		listen     = flag.String("listen", ":8080", "address to serve on")
-		workers    = flag.Int("workers", 0, "worker pool bound for batch and pattern queries (0 = GOMAXPROCS, 1 = sequential)")
-		cacheSize  = flag.Int("cache-size", 4096, "result cache capacity in entries (0 = disable caching)")
-		engine     = flag.String("engine", "lp", "exact engine for class-C instances: lp | teg")
-		precompute = flag.Bool("precompute", false, "build the PB pattern tables of every network at startup instead of on first use")
+		listen      = fs.String("listen", ":8080", "address to serve on")
+		workers     = fs.Int("workers", 0, "worker pool bound for batch and pattern queries (0 = GOMAXPROCS, 1 = sequential)")
+		cacheSize   = fs.Int("cache-size", 4096, "result cache capacity in entries (0 = disable caching)")
+		engine      = fs.String("engine", "lp", "exact engine for class-C instances: lp | teg")
+		precompute  = fs.Bool("precompute", false, "build the PB pattern tables of every network at startup instead of on first use")
+		allowIngest = fs.Bool("allow-ingest", false, "enable the write path: POST /ingest and POST /networks")
 	)
-	flag.Var(&nets, "net", "network to load, as name=path or path (repeatable)")
-	flag.Parse()
-	if len(nets) == 0 {
-		fmt.Fprintln(os.Stderr, "flownetd: at least one -net is required")
-		flag.Usage()
-		os.Exit(2)
+	fs.Var(&nets, "net", "network to load, as name=path or path (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return cli.ErrUsage
+	}
+	if len(nets) == 0 && !*allowIngest {
+		fmt.Fprintln(stderr, "flownetd: at least one -net is required (or -allow-ingest to start empty)")
+		fs.Usage()
+		return cli.ErrUsage
 	}
 	eng := flownet.EngineLP
 	switch *engine {
@@ -61,38 +91,43 @@ func main() {
 	case "teg":
 		eng = flownet.EngineTEG
 	default:
-		fmt.Fprintf(os.Stderr, "flownetd: unknown engine %q (want lp or teg)\n", *engine)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "flownetd: unknown engine %q (want lp or teg)\n", *engine)
+		return cli.ErrUsage
 	}
 
-	srv := server.New(server.Config{Workers: *workers, CacheSize: *cacheSize, Engine: eng})
+	srv := server.New(server.Config{Workers: *workers, CacheSize: *cacheSize, Engine: eng, AllowIngest: *allowIngest})
 	for _, spec := range nets {
 		name, path := splitNetSpec(spec)
 		t0 := time.Now()
 		n, err := flownet.LoadNetwork(path)
 		if err != nil {
-			log.Fatalf("flownetd: loading %s: %v", path, err)
+			return fmt.Errorf("loading %s: %w", path, err)
 		}
+		stats := n.Stats()
 		if err := srv.AddNetwork(name, n); err != nil {
-			log.Fatalf("flownetd: %v", err)
+			return err
 		}
-		log.Printf("loaded %q from %s: %d vertices, %d edges, %d interactions (%v)",
-			name, path, n.NumVertices(), n.NumEdges(), n.NumInteractions(),
+		logger.Printf("loaded %q from %s: %d vertices, %d edges, %d interactions (%v)",
+			name, path, stats.Vertices, stats.Edges, stats.Interactions,
 			time.Since(t0).Round(time.Millisecond))
 	}
 	if *precompute {
 		t0 := time.Now()
 		srv.PrecomputeTables()
-		log.Printf("precomputed pattern tables (%v)", time.Since(t0).Round(time.Millisecond))
+		logger.Printf("precomputed pattern tables (%v)", time.Since(t0).Round(time.Millisecond))
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	log.Printf("serving on %s (workers=%d, cache-size=%d, engine=%s)", *listen, *workers, *cacheSize, *engine)
-	if err := srv.ListenAndServe(ctx, *listen); err != nil {
-		log.Fatalf("flownetd: %v", err)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
 	}
-	log.Print("shut down cleanly")
+	logger.Printf("serving on %s (workers=%d, cache-size=%d, engine=%s, ingest=%v)",
+		ln.Addr(), *workers, *cacheSize, *engine, *allowIngest)
+	if err := srv.Serve(ctx, ln); err != nil {
+		return err
+	}
+	logger.Print("shut down cleanly")
+	return nil
 }
 
 // splitNetSpec splits "name=path" (or derives the name from a bare path's

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"flownet/internal/cli"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe for the concurrent writes of the
+// serving goroutine and the reads of the test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	ctx := context.Background()
+	var out, errb bytes.Buffer
+	for name, tc := range map[string][]string{
+		"no nets without ingest": {},
+		"unknown flag":           {"-nosuchflag"},
+		"bad engine":             {"-net", "x.txt", "-engine", "quantum"},
+	} {
+		if err := run(ctx, tc, &out, &errb); !errors.Is(err, cli.ErrUsage) {
+			t.Errorf("%s: err = %v, want cli.ErrUsage", name, err)
+		}
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{flag.ErrHelp, 0},
+		{cli.ErrUsage, 2},
+		{errors.New("boom"), 1},
+	} {
+		if got := cli.ExitCode(tc.err); got != tc.want {
+			t.Errorf("cli.ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestMissingNetworkFileIsRuntimeError(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{"-net", filepath.Join(t.TempDir(), "nope.txt"), "-listen", "127.0.0.1:0"}, &out, &errb)
+	if err == nil || errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("err = %v, want a runtime (non-usage) error", err)
+	}
+}
+
+func TestSplitNetSpec(t *testing.T) {
+	for _, tc := range []struct{ spec, name, path string }{
+		{"a=b.txt", "a", "b.txt"},
+		{"data/transfers.txt.gz", "transfers", "data/transfers.txt.gz"},
+		{"plain", "plain", "plain"},
+	} {
+		name, path := splitNetSpec(tc.spec)
+		if name != tc.name || path != tc.path {
+			t.Errorf("splitNetSpec(%q) = (%q, %q), want (%q, %q)", tc.spec, name, path, tc.name, tc.path)
+		}
+	}
+}
+
+// startServer runs flownetd on a loopback port in a goroutine and returns
+// its base URL plus a shutdown function that asserts a clean exit.
+func startServer(t *testing.T, extraArgs ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr syncBuffer
+	args := append([]string{"-listen", "127.0.0.1:0"}, extraArgs...)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, args, &stdout, &stderr) }()
+
+	// The serving log line reports the resolved port.
+	re := regexp.MustCompile(`serving on (127\.0\.0\.1:\d+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := re.FindStringSubmatch(stderr.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("flownetd exited before serving: %v\nstderr: %s", err, stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flownetd did not start serving\nstderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return "http://" + addr, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("flownetd shutdown: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("flownetd did not shut down")
+		}
+		if !strings.Contains(stderr.String(), "shut down cleanly") {
+			t.Fatalf("missing clean-shutdown log\nstderr: %s", stderr.String())
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, in, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(rb, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", url, rb, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeLoadedNetwork boots flownetd on a real port with a network file,
+// queries it over HTTP and shuts it down cleanly.
+func TestServeLoadedNetwork(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.txt")
+	if err := os.WriteFile(path, []byte("0 1 1 5\n1 2 2 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, shutdown := startServer(t, "-net", "chain="+path, "-cache-size", "16")
+	defer shutdown()
+
+	var health map[string]bool
+	if status := getJSON(t, base+"/healthz", &health); status != http.StatusOK || !health["ok"] {
+		t.Fatalf("healthz: status %d, body %v", status, health)
+	}
+	var flowRes struct {
+		Ok   bool    `json:"ok"`
+		Flow float64 `json:"flow"`
+	}
+	if status := getJSON(t, base+"/flow?net=chain&source=0&sink=2", &flowRes); status != http.StatusOK {
+		t.Fatalf("flow: status %d", status)
+	}
+	if !flowRes.Ok || flowRes.Flow != 5 {
+		t.Fatalf("flow result %+v, want Ok flow 5", flowRes)
+	}
+	// Ingest is off by default.
+	if status := postJSON(t, base+"/ingest", map[string]any{
+		"network": "chain", "interactions": []map[string]any{{"from": 0, "to": 1, "time": 9, "qty": 1}},
+	}, nil); status != http.StatusForbidden {
+		t.Fatalf("ingest without -allow-ingest: status %d, want 403", status)
+	}
+}
+
+// TestServeEmptyWithIngest boots flownetd with no networks and -allow-ingest,
+// registers a network over HTTP, streams interactions and watches the flow
+// change across generations.
+func TestServeEmptyWithIngest(t *testing.T) {
+	base, shutdown := startServer(t, "-allow-ingest")
+	defer shutdown()
+
+	if status := postJSON(t, base+"/networks", map[string]any{"name": "live", "vertices": 3}, nil); status != http.StatusOK {
+		t.Fatalf("create network: status %d", status)
+	}
+	if status := postJSON(t, base+"/ingest", map[string]any{
+		"network": "live",
+		"interactions": []map[string]any{
+			{"from": 0, "to": 1, "time": 1, "qty": 5},
+			{"from": 1, "to": 2, "time": 2, "qty": 5},
+		},
+	}, nil); status != http.StatusOK {
+		t.Fatalf("ingest: status %d", status)
+	}
+	var flowRes struct {
+		Flow float64 `json:"flow"`
+		Ok   bool    `json:"ok"`
+	}
+	if status := getJSON(t, base+"/flow?net=live&source=0&sink=2", &flowRes); status != http.StatusOK || flowRes.Flow != 5 {
+		t.Fatalf("flow after ingest: status %d result %+v, want flow 5", status, flowRes)
+	}
+	var infos map[string]struct {
+		Generation uint64 `json:"generation"`
+	}
+	if status := getJSON(t, base+"/networks", &infos); status != http.StatusOK || infos["live"].Generation != 2 {
+		t.Fatalf("networks listing %+v, want live at generation 2", infos)
+	}
+}

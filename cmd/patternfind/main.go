@@ -8,41 +8,64 @@
 // precomputes the path tables first, "both" runs and compares the two.
 // -workers fans the per-instance flow computations out to a worker pool;
 // the reported summary is identical for every worker count.
+//
+// Exit codes: 0 on success, 1 on a runtime failure, 2 on a usage error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	flownet "flownet"
+	"flownet/internal/cli"
 )
 
 func main() {
+	cli.Exit("patternfind", run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parse args, load the network, search.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("patternfind", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		input   = flag.String("input", "", "interaction file (.txt or .txt.gz)")
-		name    = flag.String("pattern", "P2", "P1 | P2 | P3 | P4 | P5 | P6 | RP1 | RP2 | RP3")
-		mode    = flag.String("mode", "both", "gb | pb | both")
-		max     = flag.Int64("max", 0, "stop after this many instances (0 = exhaustive)")
-		engine  = flag.String("engine", "lp", "exact engine for LP-class instances: lp | teg")
-		listTop = flag.Int("list", 0, "additionally list the first N instances (rigid patterns)")
-		workers = flag.Int("workers", 0, "instance-flow worker pool (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		input   = fs.String("input", "", "interaction file (.txt or .txt.gz)")
+		name    = fs.String("pattern", "P2", "P1 | P2 | P3 | P4 | P5 | P6 | RP1 | RP2 | RP3")
+		mode    = fs.String("mode", "both", "gb | pb | both")
+		max     = fs.Int64("max", 0, "stop after this many instances (0 = exhaustive)")
+		engine  = fs.String("engine", "lp", "exact engine for LP-class instances: lp | teg")
+		listTop = fs.Int("list", 0, "additionally list the first N instances (rigid patterns)")
+		workers = fs.Int("workers", 0, "instance-flow worker pool (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return cli.ErrUsage
+	}
 	if *input == "" {
-		fmt.Fprintln(os.Stderr, "patternfind: -input is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "patternfind: -input is required")
+		fs.Usage()
+		return cli.ErrUsage
 	}
 	p := flownet.PatternCatalogueByName(*name)
 	if p == nil {
-		fmt.Fprintf(os.Stderr, "patternfind: unknown pattern %q\n", *name)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "patternfind: unknown pattern %q\n", *name)
+		return cli.ErrUsage
+	}
+	if *mode != "gb" && *mode != "pb" && *mode != "both" {
+		fmt.Fprintf(stderr, "patternfind: unknown mode %q (want gb, pb or both)\n", *mode)
+		return cli.ErrUsage
 	}
 	n, err := flownet.LoadNetwork(*input)
-	fail(err)
-	fmt.Printf("network: %d vertices, %d edges, %d interactions\n",
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "network: %d vertices, %d edges, %d interactions\n",
 		n.NumVertices(), n.NumEdges(), n.NumInteractions())
 
 	eng := flownet.EngineLP
@@ -55,8 +78,10 @@ func main() {
 	if *mode == "gb" || *mode == "both" {
 		t0 := time.Now()
 		sum, err := flownet.SearchGB(n, p, opts)
-		fail(err)
-		report("GB", sum, time.Since(t0))
+		if err != nil {
+			return err
+		}
+		report(stdout, "GB", sum, time.Since(t0))
 	}
 	if *mode == "pb" || *mode == "both" {
 		t0 := time.Now()
@@ -64,38 +89,40 @@ func main() {
 		dPre := time.Since(t0)
 		t0 = time.Now()
 		sum, err := flownet.SearchPB(n, tables, p, opts)
-		fail(err)
-		report("PB", sum, time.Since(t0))
-		fmt.Printf("     (one-off precomputation: %v)\n", dPre.Round(time.Microsecond))
+		if err != nil {
+			return err
+		}
+		report(stdout, "PB", sum, time.Since(t0))
+		fmt.Fprintf(stdout, "     (one-off precomputation: %v)\n", dPre.Round(time.Microsecond))
 	}
 
 	if *listTop > 0 && p.Kind == flownet.KindRigid {
-		fmt.Printf("\nfirst %d instances:\n", *listTop)
+		fmt.Fprintf(stdout, "\nfirst %d instances:\n", *listTop)
 		count := 0
+		var flowErr error
 		err := flownet.EnumerateGB(n, p, func(inst *flownet.Instance) bool {
 			f, err := flownet.InstanceFlow(n, p, inst, eng)
-			fail(err)
-			fmt.Printf("  µ=%v  flow=%.4g\n", inst.V, f)
+			if err != nil {
+				flowErr = err
+				return false
+			}
+			fmt.Fprintf(stdout, "  µ=%v  flow=%.4g\n", inst.V, f)
 			count++
 			return count < *listTop
 		})
-		fail(err)
+		if err := errors.Join(err, flowErr); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func report(mode string, sum flownet.PatternSummary, d time.Duration) {
+func report(stdout io.Writer, mode string, sum flownet.PatternSummary, d time.Duration) {
 	trunc := ""
 	if sum.Truncated {
 		trunc = " (truncated)"
 	}
-	fmt.Printf("%-4s %s: %d instances%s, avg flow %.4g, total flow %.6g, in %v\n",
+	fmt.Fprintf(stdout, "%-4s %s: %d instances%s, avg flow %.4g, total flow %.6g, in %v\n",
 		mode, sum.Pattern, sum.Instances, trunc, sum.AvgFlow(), sum.TotalFlow,
 		d.Round(time.Microsecond))
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "patternfind:", err)
-		os.Exit(1)
-	}
 }

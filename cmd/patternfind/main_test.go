@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"flownet/internal/cli"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// writeNet writes a network with two 2-cycles and a 3-cycle, so P2 and P3
+// both have instances.
+func writeNet(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.txt")
+	data := "0 1 1 5\n1 0 2 4\n2 3 3 6\n3 2 4 5\n0 2 5 2\n2 4 6 2\n4 0 7 2\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestUsageErrors(t *testing.T) {
+	for name, tc := range map[string][]string{
+		"no input":        {},
+		"unknown flag":    {"-nosuchflag"},
+		"unknown pattern": {"-input", "x.txt", "-pattern", "P99"},
+		"unknown mode":    {"-input", "x.txt", "-mode", "zz"},
+	} {
+		if _, _, err := runCLI(t, tc...); !errors.Is(err, cli.ErrUsage) {
+			t.Errorf("%s: err = %v, want cli.ErrUsage", name, err)
+		}
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{flag.ErrHelp, 0},
+		{cli.ErrUsage, 2},
+		{errors.New("boom"), 1},
+	} {
+		if got := cli.ExitCode(tc.err); got != tc.want {
+			t.Errorf("cli.ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestMissingFileIsRuntimeError(t *testing.T) {
+	_, _, err := runCLI(t, "-input", filepath.Join(t.TempDir(), "nope.txt"))
+	if err == nil || errors.Is(err, cli.ErrUsage) {
+		t.Fatalf("err = %v, want a runtime (non-usage) error", err)
+	}
+}
+
+// TestGBAndPBAgree runs mode "both" and checks that the graph-browsing and
+// precomputed-table searches report identical instance counts and flows.
+func TestGBAndPBAgree(t *testing.T) {
+	for _, pat := range []string{"P1", "P2", "P3", "RP2"} {
+		stdout, _, err := runCLI(t, "-input", writeNet(t), "-pattern", pat, "-mode", "both")
+		if err != nil {
+			t.Fatalf("pattern %s: %v", pat, err)
+		}
+		re := regexp.MustCompile(`(?m)^(GB|PB)\s+` + pat + `: (\d+) instances.*total flow (\S+),`)
+		matches := re.FindAllStringSubmatch(stdout, -1)
+		if len(matches) != 2 {
+			t.Fatalf("pattern %s: expected GB and PB summary lines, got:\n%s", pat, stdout)
+		}
+		if matches[0][2] != matches[1][2] || matches[0][3] != matches[1][3] {
+			t.Fatalf("pattern %s: GB and PB disagree:\n%s", pat, stdout)
+		}
+		if matches[0][2] == "0" {
+			t.Fatalf("pattern %s: zero instances; fixture vacuous:\n%s", pat, stdout)
+		}
+	}
+}
+
+func TestSingleModeAndList(t *testing.T) {
+	stdout, _, err := runCLI(t, "-input", writeNet(t), "-pattern", "P2", "-mode", "gb", "-list", "2", "-workers", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stdout, "PB ") {
+		t.Fatalf("mode gb ran a PB search:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "first 2 instances:") || !strings.Contains(stdout, "µ=") {
+		t.Fatalf("-list did not print instances:\n%s", stdout)
+	}
+}
+
+func TestMaxTruncates(t *testing.T) {
+	stdout, _, err := runCLI(t, "-input", writeNet(t), "-pattern", "P2", "-mode", "gb", "-max", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "1 instances (truncated)") {
+		t.Fatalf("-max 1 did not truncate:\n%s", stdout)
+	}
+}

@@ -51,10 +51,15 @@
 // cmd/flownetd turns the library into a resident query service: networks
 // are loaded once and flow, batch and pattern queries are answered over
 // HTTP/JSON, with repeated queries memoized in a bounded LRU and replayed
-// byte-identically. Client (NewClient) is the matching Go client; the wire
-// types (FlowResult, BatchRequest, PatternResult, StatsResult, ...) are
-// shared with the server. See the README's Serving section for a curl
-// walkthrough.
+// byte-identically. With -allow-ingest the service also accepts live
+// traffic: time-ordered interaction batches are appended to resident
+// networks (POST /ingest, backed by Network.AppendBatch and LiveNetwork),
+// each append bumps the network's generation, and cache keys carry that
+// generation so stale answers are never replayed. Client (NewClient) is
+// the matching Go client; the wire types (FlowResult, BatchRequest,
+// IngestRequest, PatternResult, StatsResult, ...) are shared with the
+// server. See the README's Serving and Streaming ingestion sections for
+// curl walkthroughs.
 //
 // # Reproduction
 //
@@ -68,6 +73,7 @@ import (
 	"flownet/internal/core"
 	"flownet/internal/datagen"
 	"flownet/internal/pattern"
+	"flownet/internal/stream"
 	"flownet/internal/teg"
 	"flownet/internal/tin"
 )
@@ -88,7 +94,45 @@ type (
 	EdgeID = tin.EdgeID
 	// ExtractOptions controls seed-based subgraph extraction (Section 6.2).
 	ExtractOptions = tin.ExtractOptions
+	// BatchItem is one streamed interaction for Network.Append/AppendBatch.
+	BatchItem = tin.BatchItem
 )
+
+// Streaming types (see internal/stream): a LiveNetwork wraps a finalized
+// Network with a reader/writer lock and a generation counter so that
+// time-ordered interaction batches can extend it while queries keep
+// running. Network itself also exposes the single-writer append surface
+// directly — Append, AppendBatch, AppendUnordered, Reindex, MaxTime — for
+// callers that manage their own synchronization.
+type (
+	// LiveNetwork is a live-updatable network (generation-counted, safe
+	// for concurrent append and query).
+	LiveNetwork = stream.Network
+	// StreamOptions configure one LiveNetwork.Append call.
+	StreamOptions = stream.Options
+	// StreamResult reports what one LiveNetwork.Append did.
+	StreamResult = stream.Result
+)
+
+// Out-of-order policies for LiveNetwork.Append.
+const (
+	// StreamPolicyReject fails a batch with out-of-order items atomically.
+	StreamPolicyReject = stream.PolicyReject
+	// StreamPolicyDefer parks out-of-order items until Reindex merges them.
+	StreamPolicyDefer = stream.PolicyDefer
+)
+
+// ErrOutOfOrder reports an appended interaction whose timestamp precedes
+// the network's latest timestamp (see Network.AppendBatch).
+var ErrOutOfOrder = tin.ErrOutOfOrder
+
+// NewLiveNetwork makes a finalized network live-updatable; the caller must
+// not use n directly afterwards.
+func NewLiveNetwork(n *Network) (*LiveNetwork, error) { return stream.Wrap(n) }
+
+// NewEmptyLiveNetwork creates a live network with numV vertices and no
+// interactions, to be populated entirely by appends.
+func NewEmptyLiveNetwork(numV int) *LiveNetwork { return stream.NewEmpty(numV) }
 
 // Flow computation types (see internal/core).
 type (

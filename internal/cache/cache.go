@@ -87,6 +87,30 @@ func (c *Cache[K, V]) Put(k K, v V) {
 	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
 }
 
+// DeleteFunc removes every entry whose key matches pred and returns how
+// many were removed. It is the invalidation hook for callers whose values
+// can go stale in groups — flownetd drops all entries of one network after
+// an ingest while other networks' entries survive. Removals do not count as
+// evictions (the entries were not displaced by capacity pressure).
+func (c *Cache[K, V]) DeleteFunc(pred func(K) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return 0
+	}
+	removed := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if k := el.Value.(*entry[K, V]).key; pred(k) {
+			c.ll.Remove(el)
+			delete(c.items, k)
+			removed++
+		}
+		el = next
+	}
+	return removed
+}
+
 // Len returns the number of cached entries.
 func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,26 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{flag.ErrHelp, 0},
+		{fmt.Errorf("parsing: %w", flag.ErrHelp), 0},
+		{ErrUsage, 2},
+		{fmt.Errorf("flowcalc: %w", ErrUsage), 2},
+		{errors.New("boom"), 1},
+	} {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"flownet/internal/par"
 	"flownet/internal/tin"
 )
@@ -65,10 +67,23 @@ type SeedResult struct {
 // sequential loop. The returned error is the lowest-indexed pipeline
 // failure, or nil.
 func BatchSeeds(n *tin.Network, seeds []tin.VertexID, extract tin.ExtractOptions, engine Engine, workers int) ([]SeedResult, error) {
+	return BatchSeedsContext(context.Background(), n, seeds, extract, engine, workers)
+}
+
+// BatchSeedsContext is BatchSeeds with cooperative cancellation: every
+// worker checks ctx before starting a seed, so once ctx is cancelled (a
+// client disconnected, a deadline passed) the remaining seeds are skipped
+// and the call returns ctx's error. Seeds already in flight run to
+// completion — the flow pipeline itself is not interruptible — which bounds
+// the post-cancellation work to at most one subgraph per worker.
+func BatchSeedsContext(ctx context.Context, n *tin.Network, seeds []tin.VertexID, extract tin.ExtractOptions, engine Engine, workers int) ([]SeedResult, error) {
 	results := make([]SeedResult, len(seeds))
 	errs := make([]error, len(seeds))
 	par.ForEach(par.Workers(workers), len(seeds), func(i int) {
 		results[i].Seed = seeds[i]
+		if ctx.Err() != nil {
+			return
+		}
 		g, ok := n.ExtractSubgraph(seeds[i], extract)
 		if !ok {
 			return
@@ -81,6 +96,9 @@ func BatchSeeds(n *tin.Network, seeds []tin.VertexID, extract tin.ExtractOptions
 		results[i].Ok = true
 		results[i].Result = r
 	})
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err

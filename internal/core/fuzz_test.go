@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flownet/internal/teg"
+	"flownet/internal/tin"
+)
+
+// fuzzGraph decodes fuzz bytes into a small random acyclic flow instance:
+// byte 0 picks the vertex count (3..8), then every 4-byte chunk encodes one
+// interaction on an edge that always points from a lower to a higher vertex
+// id — so the graph is a DAG by construction, vertex 0 is a pure source and
+// the last vertex a pure sink. Inputs whose graph fails Validate (isolated
+// vertices break the paper's connectivity precondition) are skipped.
+func fuzzGraph(data []byte) (*tin.Graph, bool) {
+	if len(data) < 5 {
+		return nil, false
+	}
+	numV := 3 + int(data[0]%6)
+	rest := data[1:]
+	if len(rest) > 4*64 { // cap the interaction count; fuzzing wants many small inputs
+		rest = rest[:4*64]
+	}
+	g := tin.NewGraph(numV, 0, tin.VertexID(numV-1))
+	type pair struct{ from, to tin.VertexID }
+	edges := make(map[pair]tin.EdgeID)
+	added := 0
+	for ; len(rest) >= 4; rest = rest[4:] {
+		from := int(rest[0]) % (numV - 1)
+		to := from + 1 + int(rest[1])%(numV-1-from)
+		p := pair{tin.VertexID(from), tin.VertexID(to)}
+		e, ok := edges[p]
+		if !ok {
+			e = g.AddEdge(p.from, p.to)
+			edges[p] = e
+		}
+		g.AddInteraction(e, float64(rest[2]), float64(rest[3]%32))
+		added++
+	}
+	if added == 0 {
+		return nil, false
+	}
+	g.Finalize()
+	if g.Validate() != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+// FuzzFlowEquivalence cross-checks the flow engines on random acyclic TINs:
+// the PreSim pipeline (LP engine), the Pre pipeline (TEG engine) and the
+// raw time-expanded reduction must agree on the maximum flow, the greedy
+// scan must never exceed it, and on greedy-soluble graphs (Lemma 2) the
+// greedy result must BE the maximum flow.
+func FuzzFlowEquivalence(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 5, 1, 1, 2, 4})             // 3 vertices, 0->1->2 chain
+	f.Add([]byte{2, 0, 1, 1, 9, 0, 0, 2, 9})             // diamond-ish, ties
+	f.Add([]byte{5, 1, 2, 3, 4, 0, 0, 200, 31})          // late high-capacity edge
+	f.Add([]byte{3, 0, 0, 7, 0, 1, 1, 3, 3})             // zero-quantity interaction
+	f.Add([]byte{0, 0, 0, 5, 5, 0, 0, 1, 5, 1, 0, 9, 5}) // parallel sequence on one edge
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, ok := fuzzGraph(data)
+		if !ok {
+			return
+		}
+		presim, err := PreSim(g, EngineLP)
+		if err != nil {
+			t.Fatalf("PreSim(LP) failed on valid input: %v\n%s", err, g)
+		}
+		pre, err := Pre(g, EngineTEG)
+		if err != nil {
+			t.Fatalf("Pre(TEG) failed on valid input: %v\n%s", err, g)
+		}
+		tegFlow := teg.MaxFlow(g)
+		tol := 1e-6 * (1 + math.Abs(tegFlow))
+		if math.Abs(presim.Flow-tegFlow) > tol {
+			t.Fatalf("PreSim(LP) flow %v != TEG flow %v\n%s", presim.Flow, tegFlow, g)
+		}
+		if math.Abs(pre.Flow-tegFlow) > tol {
+			t.Fatalf("Pre(TEG) flow %v != TEG flow %v\n%s", pre.Flow, tegFlow, g)
+		}
+		greedy := Greedy(g)
+		if greedy > tegFlow+tol {
+			t.Fatalf("greedy flow %v exceeds maximum %v\n%s", greedy, tegFlow, g)
+		}
+		if GreedySoluble(g) && math.Abs(greedy-tegFlow) > tol {
+			t.Fatalf("greedy-soluble graph: greedy %v != maximum %v\n%s", greedy, tegFlow, g)
+		}
+	})
+}

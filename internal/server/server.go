@@ -31,18 +31,19 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"flownet/internal/cache"
 	"flownet/internal/core"
 	"flownet/internal/par"
 	"flownet/internal/pattern"
+	"flownet/internal/stream"
 	"flownet/internal/teg"
 	"flownet/internal/tin"
 )
@@ -54,6 +55,13 @@ const (
 	defaultMaxIA   = 10000
 	maxBodyBytes   = 8 << 20
 	maxCachedBytes = 4 << 20
+	// maxCreateVertices caps POST /networks so one request cannot allocate
+	// unbounded adjacency arrays.
+	maxCreateVertices = 1 << 24
+	// statusClientClosedRequest is nginx's conventional status for requests
+	// the client abandoned; the client never sees it, but it keeps the
+	// error metrics honest about why the batch was cut short.
+	statusClientClosedRequest = 499
 )
 
 // Window bounds used when only one side of (from, to) is given.
@@ -61,6 +69,10 @@ var (
 	negInf = math.Inf(-1)
 	posInf = math.Inf(1)
 )
+
+// errDuplicateNetwork distinguishes the name-collision failure of addEntry
+// (mapped to 409 Conflict by POST /networks) from plain validation errors.
+var errDuplicateNetwork = errors.New("already loaded")
 
 // Config configures a Server.
 type Config struct {
@@ -73,6 +85,10 @@ type Config struct {
 	CacheSize int
 	// Engine is the exact solver for class-C instances (default EngineLP).
 	Engine core.Engine
+	// AllowIngest enables the write path: POST /ingest (append interactions
+	// to a loaded network) and POST /networks (register a new empty
+	// network). Off by default; both endpoints answer 403 then.
+	AllowIngest bool
 }
 
 // Server holds loaded networks and serves flow and pattern queries over
@@ -81,33 +97,51 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
+	netsMu  sync.RWMutex // guards the nets map (POST /networks adds entries at runtime)
 	nets    map[string]*netEntry
 	cache   *cache.Cache[string, []byte]
 	started time.Time
 	metrics map[string]*endpointMetrics
 }
 
-// netEntry is one loaded network plus its lazily built PB path tables.
+// netEntry is one loaded network — live-updatable via internal/stream —
+// plus its lazily built, generation-tagged PB path tables.
 type netEntry struct {
-	name        string
-	net         *tin.Network
-	tablesOnce  sync.Once
-	tables      pattern.Tables
-	tablesReady atomic.Bool
+	name string
+	live *stream.Network
+
+	tablesMu sync.Mutex
+	tables   pattern.Tables
+	// tablesGen is the generation the cached tables were built for; 0
+	// means never built. Ingestion bumps the network generation, so stale
+	// tables are detected and rebuilt on the next PB query.
+	tablesGen uint64
 }
 
-// getTables builds the PB path tables on first use (with the C2 chain table
-// included, so every catalogue pattern has a PB plan) and returns them.
-func (e *netEntry) getTables() pattern.Tables {
-	e.tablesOnce.Do(func() {
-		e.tables = pattern.Precompute(e.net, true)
-		e.tablesReady.Store(true)
-	})
+// getTables returns the PB path tables for generation gen of n (with the
+// C2 chain table included, so every catalogue pattern has a PB plan),
+// rebuilding them when ingestion has advanced the network past the cached
+// build. Callers must hold the entry's stream read lock, so n cannot
+// change underneath the build.
+func (e *netEntry) getTables(n *tin.Network, gen uint64) pattern.Tables {
+	e.tablesMu.Lock()
+	defer e.tablesMu.Unlock()
+	if e.tablesGen != gen {
+		e.tables = pattern.Precompute(n, true)
+		e.tablesGen = gen
+	}
 	return e.tables
 }
 
+// tablesReady reports whether the cached tables match generation gen.
+func (e *netEntry) tablesReady(gen uint64) bool {
+	e.tablesMu.Lock()
+	defer e.tablesMu.Unlock()
+	return e.tablesGen == gen
+}
+
 // routes lists every instrumented endpoint, in /stats display order.
-var routes = []string{"/flow", "/flow/batch", "/patterns", "/networks", "/stats", "/healthz"}
+var routes = []string{"/flow", "/flow/batch", "/patterns", "/ingest", "/networks", "/stats", "/healthz"}
 
 // New creates a server with no networks loaded.
 func New(cfg Config) *Server {
@@ -126,6 +160,8 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /flow/batch", s.instrument("/flow/batch", s.handleBatch))
 	s.mux.Handle("GET /patterns", s.instrument("/patterns", s.handlePatterns))
 	s.mux.Handle("GET /networks", s.instrument("/networks", s.handleNetworks))
+	s.mux.Handle("POST /networks", s.instrument("/networks", s.handleCreateNetwork))
+	s.mux.Handle("POST /ingest", s.instrument("/ingest", s.handleIngest))
 	s.mux.Handle("GET /stats", s.instrument("/stats", s.handleStats))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	return s
@@ -133,25 +169,51 @@ func New(cfg Config) *Server {
 
 // AddNetwork registers a finalized network under the given name. When
 // exactly one network is loaded, requests may omit the network parameter.
+// The caller must not use n directly afterwards: the server wraps it for
+// live updates, and direct access would race with ingestion.
 func (s *Server) AddNetwork(name string, n *tin.Network) error {
-	if name == "" || strings.ContainsAny(name, "|\n") {
-		return fmt.Errorf("server: invalid network name %q", name)
-	}
 	if n == nil || !n.Finalized() {
 		return fmt.Errorf("server: network %q must be non-nil and finalized", name)
 	}
-	if _, dup := s.nets[name]; dup {
-		return fmt.Errorf("server: network %q already loaded", name)
+	live, err := stream.Wrap(n)
+	if err != nil {
+		return fmt.Errorf("server: network %q: %w", name, err)
 	}
-	s.nets[name] = &netEntry{name: name, net: n}
+	return s.addEntry(name, live)
+}
+
+// addEntry validates the name and registers a live network under it.
+func (s *Server) addEntry(name string, live *stream.Network) error {
+	if name == "" || strings.ContainsAny(name, "|\n") {
+		return fmt.Errorf("server: invalid network name %q", name)
+	}
+	s.netsMu.Lock()
+	defer s.netsMu.Unlock()
+	if _, dup := s.nets[name]; dup {
+		return fmt.Errorf("server: network %q: %w", name, errDuplicateNetwork)
+	}
+	s.nets[name] = &netEntry{name: name, live: live}
 	return nil
+}
+
+// entries snapshots the registered networks.
+func (s *Server) entries() []*netEntry {
+	s.netsMu.RLock()
+	defer s.netsMu.RUnlock()
+	es := make([]*netEntry, 0, len(s.nets))
+	for _, e := range s.nets {
+		es = append(es, e)
+	}
+	return es
 }
 
 // PrecomputeTables eagerly builds the PB path tables of every loaded
 // network (they are otherwise built on the first /patterns?mode=pb query).
 func (s *Server) PrecomputeTables() {
-	for _, e := range s.nets {
-		e.getTables()
+	for _, e := range s.entries() {
+		e.live.View(func(n *tin.Network, gen uint64) {
+			e.getTables(n, gen)
+		})
 	}
 }
 
@@ -163,9 +225,20 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // down gracefully, draining in-flight requests for up to 10 seconds. It
 // returns nil after a clean shutdown.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
-	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe on a caller-provided listener — the hook that
+// lets cmd/flownetd (and its tests) bind port 0 and report the actual
+// address before serving.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
+	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err
@@ -185,6 +258,8 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // network resolves the "net" query parameter (or BatchRequest.Network):
 // empty selects the sole loaded network, anything else must match a name.
 func (s *Server) network(name string) (*netEntry, error) {
+	s.netsMu.RLock()
+	defer s.netsMu.RUnlock()
 	if name == "" {
 		if len(s.nets) == 1 {
 			for _, e := range s.nets {
@@ -338,7 +413,13 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	seed, seedMode, err := s.vertexParam(q, "seed", e.net)
+	// Hold the read lock for the whole query: the network version that
+	// resolves the parameters is the one that answers, and gen tags every
+	// cache key so an ingest (which bumps gen) can never serve this
+	// version's answer to a later request.
+	n, gen, release := e.live.Acquire()
+	defer release()
+	seed, seedMode, err := s.vertexParam(q, "seed", n)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -373,12 +454,12 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		key := fmt.Sprintf("flow|%s|seed|%d|%d|%d|%s", e.name, seed, opts.MaxHops, opts.MaxInteractions, windowKey)
+		key := fmt.Sprintf("flow|%s|g%d|seed|%d|%d|%d|%s", e.name, gen, seed, opts.MaxHops, opts.MaxInteractions, windowKey)
 		if s.serveCached(w, "/flow", key) {
 			return
 		}
 		res := FlowResult{Network: e.name, Query: "seed", Seed: int(seed)}
-		g, ok := e.net.ExtractSubgraph(seed, opts)
+		g, ok := n.ExtractSubgraph(seed, opts)
 		if ok {
 			if window {
 				g = g.RestrictWindow(from, to)
@@ -392,8 +473,8 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	src, haveSrc, err1 := s.vertexParam(q, "source", e.net)
-	snk, haveSnk, err2 := s.vertexParam(q, "sink", e.net)
+	src, haveSrc, err1 := s.vertexParam(q, "source", n)
+	snk, haveSnk, err2 := s.vertexParam(q, "sink", n)
 	if err := errors.Join(err1, err2); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -406,12 +487,12 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "source and sink must differ (use seed=%d for returning-path flow)", src)
 		return
 	}
-	key := fmt.Sprintf("flow|%s|pair|%d|%d|%s", e.name, src, snk, windowKey)
+	key := fmt.Sprintf("flow|%s|g%d|pair|%d|%d|%s", e.name, gen, src, snk, windowKey)
 	if s.serveCached(w, "/flow", key) {
 		return
 	}
 	res := FlowResult{Network: e.name, Query: "pair", Source: int(src), Sink: int(snk)}
-	g, ok := e.net.FlowSubgraphBetween(src, snk)
+	g, ok := n.FlowSubgraphBetween(src, snk)
 	if ok {
 		if window {
 			g = g.RestrictWindow(from, to)
@@ -463,6 +544,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	n, gen, release := e.live.Acquire()
+	defer release()
 	opts, err := extractParams(req.Hops, req.MaxInteractions)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -475,7 +558,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "give either seeds or all, not both")
 		return
 	case req.All:
-		seeds = make([]tin.VertexID, e.net.NumVertices())
+		seeds = make([]tin.VertexID, n.NumVertices())
 		for i := range seeds {
 			seeds[i] = tin.VertexID(i)
 		}
@@ -483,8 +566,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	case len(req.Seeds) > 0:
 		var b strings.Builder
 		for i, v := range req.Seeds {
-			if v < 0 || v >= e.net.NumVertices() {
-				writeError(w, http.StatusBadRequest, "seed %d is not a vertex id in [0,%d)", v, e.net.NumVertices())
+			if v < 0 || v >= n.NumVertices() {
+				writeError(w, http.StatusBadRequest, "seed %d is not a vertex id in [0,%d)", v, n.NumVertices())
 				return
 			}
 			seeds = append(seeds, tin.VertexID(v))
@@ -506,13 +589,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Workers are excluded from the key: results are identical for every
 	// worker count (see the library's Concurrency guarantee).
-	key := fmt.Sprintf("batch|%s|%d|%d|%s", e.name, opts.MaxHops, opts.MaxInteractions, seedsKey)
+	key := fmt.Sprintf("batch|%s|g%d|%d|%d|%s", e.name, gen, opts.MaxHops, opts.MaxInteractions, seedsKey)
 	if s.serveCached(w, "/flow/batch", key) {
 		return
 	}
-	results, err := core.BatchSeeds(e.net, seeds, opts, s.cfg.Engine, s.workers(req.Workers))
+	// The request context aborts the remaining seeds when the client
+	// disconnects mid-batch; a cancelled batch is partial and must not be
+	// cached or reported as success.
+	results, err := core.BatchSeedsContext(r.Context(), n, seeds, opts, s.cfg.Engine, s.workers(req.Workers))
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = statusClientClosedRequest
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
 	res := BatchResult{Network: e.name, Results: make([]SeedFlowResult, len(results))}
@@ -558,7 +648,9 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	key := fmt.Sprintf("patterns|%s|%s|%s|%d|%d", e.name, p.Name, mode, maxInst, minPaths)
+	n, gen, release := e.live.Acquire()
+	defer release()
+	key := fmt.Sprintf("patterns|%s|g%d|%s|%s|%d|%d", e.name, gen, p.Name, mode, maxInst, minPaths)
 	if s.serveCached(w, "/patterns", key) {
 		return
 	}
@@ -570,9 +662,9 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	}
 	var sum pattern.Summary
 	if mode == "pb" {
-		sum, err = pattern.SearchPB(e.net, e.getTables(), p, opts)
+		sum, err = pattern.SearchPB(n, e.getTables(n, gen), p, opts)
 	} else {
-		sum, err = pattern.SearchGB(e.net, p, opts)
+		sum, err = pattern.SearchGB(n, p, opts)
 	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -614,16 +706,141 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) networkInfos() map[string]NetworkInfo {
-	infos := make(map[string]NetworkInfo, len(s.nets))
-	for name, e := range s.nets {
-		st := e.net.Stats()
-		infos[name] = NetworkInfo{
-			Vertices:     st.Vertices,
-			Edges:        st.Edges,
-			Interactions: st.Interactions,
-			AvgQty:       st.AvgQty,
-			TablesReady:  e.tablesReady.Load(),
-		}
+	es := s.entries()
+	infos := make(map[string]NetworkInfo, len(es))
+	for _, e := range es {
+		// Pending takes the stream's read lock itself, so it must be read
+		// before View (re-entering the RWMutex while a writer waits would
+		// deadlock). The two reads may straddle an append; a momentarily
+		// inconsistent stats row is fine.
+		pending := e.live.Pending()
+		e.live.View(func(n *tin.Network, gen uint64) {
+			st := n.Stats()
+			infos[e.name] = NetworkInfo{
+				Vertices:            st.Vertices,
+				Edges:               st.Edges,
+				Interactions:        st.Interactions,
+				AvgQty:              st.AvgQty,
+				TablesReady:         e.tablesReady(gen),
+				Generation:          gen,
+				PendingInteractions: pending,
+			}
+		})
 	}
 	return infos
+}
+
+// ---- ingestion --------------------------------------------------------
+
+// handleCreateNetwork answers POST /networks: register a new, empty,
+// ingest-ready network. Gated by Config.AllowIngest.
+func (s *Server) handleCreateNetwork(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.AllowIngest {
+		writeError(w, http.StatusForbidden, "ingestion disabled (start flownetd with -allow-ingest)")
+		return
+	}
+	var req CreateNetworkRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	if req.Vertices < 0 || req.Vertices > maxCreateVertices {
+		writeError(w, http.StatusBadRequest, "vertices must be in [0,%d], got %d", maxCreateVertices, req.Vertices)
+		return
+	}
+	live := stream.NewEmpty(req.Vertices)
+	if err := s.addEntry(req.Name, live); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errDuplicateNetwork) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CreateNetworkResult{
+		Name:       req.Name,
+		Vertices:   req.Vertices,
+		Generation: live.Generation(),
+	})
+}
+
+// handleIngest answers POST /ingest: append a time-ordered interaction
+// batch to a loaded network (and/or merge its pending out-of-order buffer
+// when Reindex is set). Gated by Config.AllowIngest. After an append that
+// changed what queries can observe, the network's cached answers — and
+// only that network's — are dropped; its bumped generation would make them
+// unreachable anyway, but dropping them eagerly frees the LRU slots.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.AllowIngest {
+		writeError(w, http.StatusForbidden, "ingestion disabled (start flownetd with -allow-ingest)")
+		return
+	}
+	var req IngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return
+	}
+	if len(req.Interactions) == 0 && !req.Reindex {
+		writeError(w, http.StatusBadRequest, "no interactions given (pass interactions, or reindex to merge the pending buffer)")
+		return
+	}
+	e, err := s.network(req.Network)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	items := make([]stream.Item, len(req.Interactions))
+	for i, ia := range req.Interactions {
+		if ia.From < 0 || ia.From > math.MaxInt32 || ia.To < 0 || ia.To > math.MaxInt32 {
+			writeError(w, http.StatusBadRequest, "interaction %d: vertex ids must be in [0,%d]", i, math.MaxInt32)
+			return
+		}
+		items[i] = stream.Item{From: tin.VertexID(ia.From), To: tin.VertexID(ia.To), Time: ia.Time, Qty: ia.Qty}
+	}
+	policy := stream.PolicyReject
+	if req.AllowOutOfOrder {
+		policy = stream.PolicyDefer
+	}
+	genBefore := e.live.Generation()
+	ares, err := e.live.Append(items, stream.Options{OnOutOfOrder: policy, Grow: req.Grow})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res := IngestResult{
+		Network:    e.name,
+		Appended:   ares.Appended,
+		Deferred:   ares.Deferred,
+		Skipped:    ares.Skipped,
+		Generation: ares.Generation,
+	}
+	if req.Reindex {
+		rres, err := e.live.Reindex()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "reindex: %v", err)
+			return
+		}
+		res.Appended += rres.Appended
+		res.Reindexed = true
+		res.Generation = rres.Generation
+	}
+	res.Pending = e.live.Pending()
+	if res.Generation != genBefore {
+		s.invalidateNetwork(e.name)
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// invalidateNetwork drops every cached answer of one network. Keys are
+// "<kind>|<network>|g<gen>|..." and network names cannot contain '|', so
+// matching on the second field is exact.
+func (s *Server) invalidateNetwork(name string) {
+	s.cache.DeleteFunc(func(key string) bool {
+		_, rest, ok := strings.Cut(key, "|")
+		return ok && strings.HasPrefix(rest, name+"|")
+	})
 }

@@ -81,15 +81,81 @@ type PatternResult struct {
 	Truncated bool    `json:"truncated,omitempty"`
 }
 
+// IngestInteraction is one streamed interaction in a POST /ingest body:
+// quantity Qty moved From -> To at time Time.
+type IngestInteraction struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Time float64 `json:"time"`
+	Qty  float64 `json:"qty"`
+}
+
+// IngestRequest is the POST /ingest body: a time-ordered interaction batch
+// appended to a loaded network. The endpoint exists only when the server
+// allows ingestion (flownetd -allow-ingest).
+type IngestRequest struct {
+	// Network may be empty when exactly one network is loaded.
+	Network string `json:"network,omitempty"`
+	// Interactions must be in time order unless AllowOutOfOrder is set.
+	Interactions []IngestInteraction `json:"interactions"`
+	// AllowOutOfOrder parks interactions older than the network's latest
+	// timestamp in a pending buffer (merged by Reindex) instead of
+	// rejecting the batch.
+	AllowOutOfOrder bool `json:"allow_out_of_order,omitempty"`
+	// Reindex merges the pending buffer into the network after the append
+	// (one full canonical re-rank). Legal with an empty Interactions list.
+	Reindex bool `json:"reindex,omitempty"`
+	// Grow extends the network's vertex space to fit out-of-range ids.
+	Grow bool `json:"grow,omitempty"`
+}
+
+// IngestResult is the response of POST /ingest.
+type IngestResult struct {
+	Network string `json:"network"`
+	// Appended counts interactions applied in order; Deferred counts
+	// out-of-order interactions parked for a later reindex; Skipped counts
+	// self loops. Pending is the total parked backlog after this request.
+	Appended int `json:"appended"`
+	Deferred int `json:"deferred,omitempty"`
+	Skipped  int `json:"skipped,omitempty"`
+	Pending  int `json:"pending,omitempty"`
+	// Reindexed reports that a reindex merged the pending buffer.
+	Reindexed bool `json:"reindexed,omitempty"`
+	// Generation is the network generation after the request; it changes
+	// exactly when query results may change.
+	Generation uint64 `json:"generation"`
+}
+
+// CreateNetworkRequest is the POST /networks body: register a new, empty,
+// ingest-ready network. Requires -allow-ingest.
+type CreateNetworkRequest struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+}
+
+// CreateNetworkResult is the response of POST /networks.
+type CreateNetworkResult struct {
+	Name       string `json:"name"`
+	Vertices   int    `json:"vertices"`
+	Generation uint64 `json:"generation"`
+}
+
 // NetworkInfo describes one loaded network (GET /networks, GET /stats).
 type NetworkInfo struct {
 	Vertices     int     `json:"vertices"`
 	Edges        int     `json:"edges"`
 	Interactions int     `json:"interactions"`
 	AvgQty       float64 `json:"avg_qty"`
-	// TablesReady reports whether the PB path tables have been built (they
-	// are precomputed lazily on the first /patterns?mode=pb query).
+	// TablesReady reports whether the PB path tables have been built for
+	// the network's current generation (they are precomputed lazily on the
+	// first /patterns?mode=pb query and invalidated by ingestion).
 	TablesReady bool `json:"tables_ready"`
+	// Generation is the network's current generation (starts at 1, bumped
+	// by every ingest that changes query results).
+	Generation uint64 `json:"generation"`
+	// PendingInteractions counts out-of-order arrivals parked until the
+	// next reindex.
+	PendingInteractions int `json:"pending_interactions,omitempty"`
 }
 
 // EndpointStats are the per-endpoint counters of GET /stats.

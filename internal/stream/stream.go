@@ -1,0 +1,243 @@
+// Package stream makes a temporal interaction network live-updatable: it
+// wraps a finalized tin.Network with a reader/writer lock and a generation
+// counter, and accepts time-ordered interaction batches that extend the
+// network incrementally instead of rebuilding it from scratch.
+//
+// The paper computes flow over a fixed network; a resident query service
+// (internal/server) must also absorb interactions that arrive after load —
+// payment streams, netflow exports — while queries keep running. The
+// contract here is:
+//
+//   - Readers call Acquire (or View) and see an immutable, canonical
+//     network for as long as they hold the read lock. The generation they
+//     observe identifies exactly which version answered their query, which
+//     is what makes (network, generation, query) a sound cache key: a
+//     successful append bumps the generation, so every cached answer from
+//     an older version becomes unreachable without touching answers for
+//     other networks.
+//   - Writers call Append with batches that are internally time-ordered
+//     and start at or after the network's latest timestamp. That fast path
+//     extends edge sequences in place (amortized O(batch)). Out-of-order
+//     arrivals are detected per item and — under PolicyDefer — parked in a
+//     pending buffer that an explicit Reindex merges with one full re-rank;
+//     under PolicyReject (the default) their batch fails atomically.
+//
+// Appends never make a half-applied state visible: validation happens
+// before mutation, and the write lock is held for the whole batch.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"flownet/internal/tin"
+)
+
+// Item is one streamed interaction (an alias of tin.BatchItem): quantity
+// Qty moved From -> To at time Time.
+type Item = tin.BatchItem
+
+// OutOfOrderPolicy selects what Append does with an interaction whose
+// timestamp precedes the latest timestamp already in the network.
+type OutOfOrderPolicy int
+
+const (
+	// PolicyReject fails the whole batch atomically (tin.ErrOutOfOrder).
+	PolicyReject OutOfOrderPolicy = iota
+	// PolicyDefer applies the in-order prefix of every item run and parks
+	// out-of-order items in the pending buffer until Reindex merges them.
+	PolicyDefer
+)
+
+// Options configure one Append call. The zero value rejects out-of-order
+// items and requires every vertex id to be in range.
+type Options struct {
+	// OnOutOfOrder selects the out-of-order policy (default PolicyReject).
+	OnOutOfOrder OutOfOrderPolicy
+	// Grow extends the vertex space to fit out-of-range vertex ids instead
+	// of rejecting them — streams routinely introduce new accounts/hosts.
+	Grow bool
+}
+
+// Result reports what one Append did.
+type Result struct {
+	// Appended counts interactions applied to the live network in order.
+	Appended int
+	// Deferred counts out-of-order interactions parked in the pending
+	// buffer (PolicyDefer only); they become visible after Reindex.
+	Deferred int
+	// Skipped counts self loops, which can never carry flow.
+	Skipped int
+	// Generation is the network generation after the append.
+	Generation uint64
+}
+
+// Network is a live-updatable temporal interaction network: a finalized
+// tin.Network plus the synchronization and versioning that let appends and
+// queries interleave safely. All methods are safe for concurrent use.
+type Network struct {
+	mu      sync.RWMutex
+	net     *tin.Network
+	gen     uint64
+	pending []Item
+}
+
+// Wrap makes a finalized network live-updatable. The caller must not use n
+// directly afterwards; all access goes through the wrapper.
+func Wrap(n *tin.Network) (*Network, error) {
+	if n == nil || !n.Finalized() {
+		return nil, errors.New("stream: network must be non-nil and finalized")
+	}
+	if n.NeedsReindex() {
+		return nil, errors.New("stream: network is awaiting a Reindex")
+	}
+	return &Network{net: n, gen: 1}, nil
+}
+
+// NewEmpty creates a live network with numV vertices and no interactions —
+// the bootstrap for a service that is populated entirely by ingestion.
+func NewEmpty(numV int) *Network {
+	n := tin.NewNetwork(numV)
+	n.Finalize()
+	s, _ := Wrap(n)
+	return s
+}
+
+// Generation returns the current generation. It starts at 1 and increases
+// on every append or reindex that changes what queries can observe.
+func (s *Network) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// Pending returns the number of out-of-order interactions parked in the
+// pending buffer, waiting for Reindex.
+func (s *Network) Pending() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pending)
+}
+
+// Acquire read-locks the live network and returns it together with its
+// generation and the release function. The returned network must only be
+// read, and only until release is called.
+func (s *Network) Acquire() (n *tin.Network, gen uint64, release func()) {
+	s.mu.RLock()
+	return s.net, s.gen, s.mu.RUnlock
+}
+
+// View runs fn with the live network read-locked. fn must only read.
+func (s *Network) View(fn func(n *tin.Network, gen uint64)) {
+	n, gen, release := s.Acquire()
+	defer release()
+	fn(n, gen)
+}
+
+// Append extends the live network with a batch of interactions. Items must
+// be internally time-ordered and start at or after the network's latest
+// timestamp; out-of-order items are handled per opts.OnOutOfOrder. On any
+// validation failure no interaction is applied or parked; the generation
+// only moves if opts.Grow already extended the vertex space, which bumps
+// it by itself (the new vertices are isolated, but the vertex count is
+// query-observable). A successful append that changed the visible network
+// bumps the generation.
+func (s *Network) Append(items []Item, opts Options) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if opts.Grow {
+		maxID := -1
+		for _, it := range items {
+			if int(it.From) > maxID {
+				maxID = int(it.From)
+			}
+			if int(it.To) > maxID {
+				maxID = int(it.To)
+			}
+		}
+		if maxID >= s.net.NumVertices() {
+			s.net.GrowVertices(maxID + 1)
+			// The vertex count is query-observable (batch "all", network
+			// listings), so growing bumps the generation on its own — even
+			// if the rest of the batch is later rejected, the grown space
+			// stays and cached answers for the old shape must die.
+			s.gen++
+		}
+	}
+
+	var res Result
+	var apply, parked []Item
+	last := s.net.MaxTime()
+	for i, it := range items {
+		if it.From == it.To {
+			res.Skipped++
+			continue
+		}
+		if it.Time < last {
+			if opts.OnOutOfOrder == PolicyReject {
+				res = Result{Generation: s.gen}
+				return res, fmt.Errorf("stream: batch item %d at time %v precedes latest time %v: %w",
+					i, it.Time, last, tin.ErrOutOfOrder)
+			}
+			parked = append(parked, it)
+			continue
+		}
+		last = it.Time
+		apply = append(apply, it)
+	}
+
+	// Parked items get the same value validation as applied ones — before
+	// anything mutates, so a batch is admitted or rejected as a whole, and
+	// so the later Reindex merge cannot fail.
+	for i, it := range parked {
+		if cerr := s.net.CheckItem(it); cerr != nil {
+			return Result{Generation: s.gen}, fmt.Errorf("stream: deferred item %d: %w", i, cerr)
+		}
+	}
+	appended, err := s.net.AppendBatch(apply)
+	if err != nil {
+		return Result{Generation: s.gen}, err
+	}
+	s.pending = append(s.pending, parked...)
+	res.Appended = appended
+	res.Deferred = len(parked)
+	if res.Appended > 0 {
+		s.gen++
+	}
+	res.Generation = s.gen
+	return res, nil
+}
+
+// Reindex merges the pending out-of-order interactions into the live
+// network with one full canonical re-rank, bumping the generation. It is a
+// no-op (and does not bump) when nothing is pending.
+func (s *Network) Reindex() (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		return Result{Generation: s.gen}, nil
+	}
+	appended, err := s.net.AppendUnordered(s.pending)
+	if err != nil {
+		// Pending items were validated on admission; failing here means a
+		// caller mutated the wrapped network behind our back.
+		return Result{Generation: s.gen}, err
+	}
+	if s.net.NeedsReindex() {
+		s.net.Reindex()
+	}
+	s.pending = nil
+	if appended > 0 {
+		s.gen++
+	}
+	return Result{Appended: appended, Generation: s.gen}, nil
+}
+
+// Stats returns the live network's summary statistics.
+func (s *Network) Stats() tin.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.net.Stats()
+}

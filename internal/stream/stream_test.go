@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"flownet/internal/core"
+	"flownet/internal/tin"
+)
+
+// chainItems is a 0 -> 1 -> 2 chain carrying 5 units at times 1, 2.
+var chainItems = []Item{{From: 0, To: 1, Time: 1, Qty: 5}, {From: 1, To: 2, Time: 2, Qty: 5}}
+
+// flow computes the maximum 0 -> sink flow of the live network.
+func flow(t *testing.T, s *Network, sink tin.VertexID) float64 {
+	t.Helper()
+	var f float64
+	s.View(func(n *tin.Network, gen uint64) {
+		g, ok := n.FlowSubgraphBetween(0, sink)
+		if !ok {
+			return
+		}
+		res, err := core.PreSim(g, core.EngineLP)
+		if err != nil {
+			t.Fatalf("PreSim: %v", err)
+		}
+		f = res.Flow
+	})
+	return f
+}
+
+func TestAppendChangesFlow(t *testing.T) {
+	s := NewEmpty(3)
+	if got := s.Generation(); got != 1 {
+		t.Fatalf("initial generation = %d, want 1", got)
+	}
+	res, err := s.Append(chainItems, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 2 || res.Generation != 2 {
+		t.Fatalf("Append: %+v, want Appended=2 Generation=2", res)
+	}
+	if got := flow(t, s, 2); got != 5 {
+		t.Fatalf("flow after first batch = %g, want 5", got)
+	}
+	// A later transfer raises the achievable flow.
+	res, err = s.Append([]Item{{From: 0, To: 1, Time: 3, Qty: 2}, {From: 1, To: 2, Time: 4, Qty: 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generation != 3 {
+		t.Fatalf("generation after second append = %d, want 3", res.Generation)
+	}
+	if got := flow(t, s, 2); got != 7 {
+		t.Fatalf("flow after second batch = %g, want 7", got)
+	}
+}
+
+func TestAppendRejectPolicy(t *testing.T) {
+	s := NewEmpty(3)
+	if _, err := s.Append(chainItems, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	gen := s.Generation()
+	_, err := s.Append([]Item{{From: 0, To: 2, Time: 1.5, Qty: 1}}, Options{})
+	if !errors.Is(err, tin.ErrOutOfOrder) {
+		t.Fatalf("late append err = %v, want ErrOutOfOrder", err)
+	}
+	if s.Generation() != gen || s.Pending() != 0 {
+		t.Fatalf("failed append changed state: gen %d (want %d), pending %d (want 0)",
+			s.Generation(), gen, s.Pending())
+	}
+}
+
+func TestAppendDeferAndReindex(t *testing.T) {
+	s := NewEmpty(3)
+	if _, err := s.Append(chainItems, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	gen := s.Generation()
+
+	// One in-order item and one late item: the former lands, the latter parks.
+	res, err := s.Append([]Item{
+		{From: 0, To: 1, Time: 1.5, Qty: 3}, // late: before MaxTime 2
+		{From: 1, To: 2, Time: 4, Qty: 3},   // in order
+	}, Options{OnOutOfOrder: PolicyDefer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 1 || res.Deferred != 1 {
+		t.Fatalf("defer append: %+v, want Appended=1 Deferred=1", res)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	// The parked item is invisible: only the in-order 3 units at t=4 count,
+	// and of those at most 5 units had arrived at vertex 1 by then... the
+	// extra (0->1, t=1.5, q=3) would raise the flow to 8 once merged.
+	if got := flow(t, s, 2); got != 8-3 {
+		t.Fatalf("flow before Reindex = %g, want 5", got)
+	}
+
+	rres, err := s.Reindex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Appended != 1 || s.Pending() != 0 {
+		t.Fatalf("Reindex: %+v pending %d, want Appended=1 pending 0", rres, s.Pending())
+	}
+	if rres.Generation != gen+2 {
+		t.Fatalf("generation after defer+reindex = %d, want %d", rres.Generation, gen+2)
+	}
+	if got := flow(t, s, 2); got != 8 {
+		t.Fatalf("flow after Reindex = %g, want 8", got)
+	}
+
+	// Reindex with nothing pending is a no-op and does not bump.
+	rres, err = s.Reindex()
+	if err != nil || rres.Appended != 0 || rres.Generation != gen+2 {
+		t.Fatalf("idle Reindex: %+v err=%v, want no-op at generation %d", rres, err, gen+2)
+	}
+}
+
+func TestAppendValidatesParkedItemsAtomically(t *testing.T) {
+	s := NewEmpty(3)
+	if _, err := s.Append(chainItems, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	gen, stats := s.Generation(), s.Stats()
+	// The in-order item is fine; the parked one is invalid (bad vertex).
+	_, err := s.Append([]Item{
+		{From: 0, To: 1, Time: 1.5, Qty: 1}, // late -> would park
+		{From: 0, To: 9, Time: 1.7, Qty: 1}, // late and out of range
+		{From: 1, To: 2, Time: 9, Qty: 1},   // in order
+	}, Options{OnOutOfOrder: PolicyDefer})
+	if err == nil {
+		t.Fatal("append with an invalid parked item succeeded, want error")
+	}
+	if s.Generation() != gen || s.Pending() != 0 || s.Stats() != stats {
+		t.Fatal("failed append left partial state behind")
+	}
+}
+
+func TestAppendGrow(t *testing.T) {
+	s := NewEmpty(2)
+	if _, err := s.Append([]Item{{From: 0, To: 5, Time: 1, Qty: 2}}, Options{}); err == nil {
+		t.Fatal("out-of-range append without Grow succeeded, want error")
+	}
+	if s.Generation() != 1 {
+		t.Fatalf("failed append moved the generation to %d", s.Generation())
+	}
+	res, err := s.Append([]Item{{From: 0, To: 5, Time: 1, Qty: 2}}, Options{Grow: true})
+	if err != nil || res.Appended != 1 {
+		t.Fatalf("grow append: %+v err=%v", res, err)
+	}
+	// Growing is query-observable on its own (batch "all", listings), so
+	// it bumps the generation separately from the append: 1 +grow +append.
+	if res.Generation != 3 {
+		t.Fatalf("generation after grow+append = %d, want 3", res.Generation)
+	}
+	if got := s.Stats().Vertices; got != 6 {
+		t.Fatalf("vertices after grow = %d, want 6", got)
+	}
+
+	// A grown-then-rejected batch still bumps for the grow alone: the
+	// vertex space stays extended, so cached answers for the old shape
+	// must become unreachable.
+	if _, err := s.Append([]Item{{From: 0, To: 9, Time: 0.5, Qty: 1}}, Options{Grow: true}); err == nil {
+		t.Fatal("late grow append succeeded, want ErrOutOfOrder")
+	}
+	if s.Generation() != 4 || s.Stats().Vertices != 10 {
+		t.Fatalf("after grown-but-rejected batch: gen %d vertices %d, want 4 and 10",
+			s.Generation(), s.Stats().Vertices)
+	}
+}
+
+func TestWrapRequiresFinalized(t *testing.T) {
+	if _, err := Wrap(nil); err == nil {
+		t.Error("Wrap(nil) succeeded")
+	}
+	if _, err := Wrap(tin.NewNetwork(2)); err == nil {
+		t.Error("Wrap of an unfinalized network succeeded")
+	}
+	n := tin.NewNetwork(2)
+	n.Finalize()
+	if _, err := Wrap(n); err != nil {
+		t.Errorf("Wrap of a finalized network: %v", err)
+	}
+}
+
+// TestConcurrentAppendAndQuery interleaves appends with flow queries under
+// the race detector: readers must always observe a consistent, canonical
+// network and a generation that only moves forward.
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	s := NewEmpty(4)
+	if _, err := s.Append(chainItems, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 2
+		readers = 4
+		rounds  = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tm := float64(10 + i*writers + w)
+				_, err := s.Append([]Item{
+					{From: 0, To: 1, Time: tm, Qty: 1},
+					{From: 1, To: 2, Time: tm, Qty: 1},
+				}, Options{})
+				// Concurrent writers race on MaxTime, so ErrOutOfOrder is a
+				// legal outcome; anything else is not.
+				if err != nil && !errors.Is(err, tin.ErrOutOfOrder) {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen uint64
+			for i := 0; i < rounds; i++ {
+				s.View(func(n *tin.Network, gen uint64) {
+					if gen < lastGen {
+						t.Errorf("generation went backwards: %d after %d", gen, lastGen)
+					}
+					lastGen = gen
+					g, ok := n.FlowSubgraphBetween(0, 2)
+					if !ok {
+						t.Error("chain disappeared")
+						return
+					}
+					if _, err := core.PreSim(g, core.EngineLP); err != nil {
+						t.Errorf("PreSim under concurrent appends: %v", err)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := flow(t, s, 2); got < 5 {
+		t.Fatalf("final flow = %g, want >= 5", got)
+	}
+}

@@ -1,0 +1,189 @@
+package tin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements streaming append: extending a *finalized* network
+// with new interactions without rebuilding it from scratch. The paper
+// computes flow over a fixed network; a live service (internal/stream,
+// internal/server) must also absorb interactions that arrive after load.
+//
+// The fast path relies on the canonical order being (Time, Ord): an
+// interaction whose timestamp is >= the latest timestamp already in the
+// network can be given the next free Ord and appended at the tail of its
+// edge sequence — every ordering invariant (Ord is the global canonical
+// rank, edge sequences sorted by Ord) is preserved without any re-sort.
+// Out-of-order arrivals cannot keep those invariants incrementally; they
+// are accepted only through AppendUnordered, which leaves the network
+// marked as needing a Reindex (the explicit full re-rank).
+
+// ErrOutOfOrder reports an interaction whose timestamp precedes the latest
+// timestamp already in the network. Callers that accept late data should
+// route such interactions through AppendUnordered + Reindex.
+var ErrOutOfOrder = errors.New("tin: interaction out of time order")
+
+// BatchItem is one streamed interaction destined for a finalized network:
+// quantity Qty moved From -> To at time Time.
+type BatchItem struct {
+	From, To VertexID
+	Time     float64
+	Qty      float64
+}
+
+// MaxTime returns the latest interaction timestamp in the network, or -inf
+// when the network has no interactions. Only valid after Finalize.
+func (n *Network) MaxTime() float64 { return n.maxTime }
+
+// NeedsReindex reports whether AppendUnordered has admitted out-of-order
+// interactions that have not yet been integrated by Reindex. While true,
+// the canonical order is stale: queries and further in-order appends are
+// rejected until Reindex is called.
+func (n *Network) NeedsReindex() bool { return n.needsReindex }
+
+// GrowVertices extends the vertex space to numV vertices (existing ids are
+// unchanged; new vertices start isolated). It is a no-op when the network
+// already has at least numV vertices. Usable before or after Finalize —
+// growing the id space does not disturb the canonical order.
+func (n *Network) GrowVertices(numV int) {
+	if numV <= n.numV {
+		return
+	}
+	n.out = append(n.out, make([][]EdgeID, numV-n.numV)...)
+	n.in = append(n.in, make([][]EdgeID, numV-n.numV)...)
+	n.numV = numV
+}
+
+// CheckItem validates an append candidate's vertex range and values
+// without applying it — the pre-admission check used by callers (such as
+// internal/stream) that buffer items for a later append.
+func (n *Network) CheckItem(it BatchItem) error {
+	if it.From < 0 || int(it.From) >= n.numV || it.To < 0 || int(it.To) >= n.numV {
+		return fmt.Errorf("tin: interaction (%d,%d) out of vertex range [0,%d)", it.From, it.To, n.numV)
+	}
+	if it.Qty < 0 || math.IsNaN(it.Qty) || math.IsInf(it.Qty, 0) || math.IsNaN(it.Time) || math.IsInf(it.Time, 0) {
+		return fmt.Errorf("tin: invalid interaction (%v,%v)", it.Time, it.Qty)
+	}
+	return nil
+}
+
+// appendItem applies one validated interaction to a finalized network,
+// assigning it the next free canonical Ord. Self loops are skipped (they
+// cannot affect any flow between distinct vertices) and reported as false.
+func (n *Network) appendItem(it BatchItem) bool {
+	if it.From == it.To {
+		return false
+	}
+	key := pairKey(it.From, it.To)
+	id, ok := n.edgeIdx[key]
+	if !ok {
+		id = EdgeID(len(n.edges))
+		n.edges = append(n.edges, Edge{From: it.From, To: it.To})
+		n.edgeIdx[key] = id
+		n.out[it.From] = append(n.out[it.From], id)
+		n.in[it.To] = append(n.in[it.To], id)
+	}
+	n.edges[id].Seq = append(n.edges[id].Seq, Interaction{Time: it.Time, Qty: it.Qty, Ord: n.nextOrd})
+	n.nextOrd++
+	n.numIA++
+	if it.Time > n.maxTime {
+		n.maxTime = it.Time
+	}
+	return true
+}
+
+// Append extends a finalized network with one interaction, preserving the
+// canonical order. The interaction must not precede the latest timestamp
+// already present (ErrOutOfOrder otherwise); equal timestamps are fine and
+// order after existing ties, matching what a from-scratch rebuild would do.
+func (n *Network) Append(from, to VertexID, t, q float64) error {
+	_, err := n.AppendBatch([]BatchItem{{From: from, To: to, Time: t, Qty: q}})
+	return err
+}
+
+// AppendBatch extends a finalized network with a time-ordered batch of
+// interactions. The whole batch is validated first — vertex ranges, values,
+// and time order both within the batch and against MaxTime — and nothing is
+// applied unless every item passes, so a failed append leaves the network
+// untouched. Self loops are skipped silently. It returns the number of
+// interactions actually appended.
+//
+// The resulting network is indistinguishable from one built by adding the
+// same interactions before Finalize: appended interactions take the next
+// canonical ranks, which is exactly where the (Time, insertion index) sort
+// would have placed them.
+func (n *Network) AppendBatch(items []BatchItem) (int, error) {
+	if !n.finalized {
+		return 0, errors.New("tin: AppendBatch before Finalize")
+	}
+	if n.needsReindex {
+		return 0, errors.New("tin: AppendBatch on a network awaiting Reindex")
+	}
+	last := n.maxTime
+	for i, it := range items {
+		if it.From == it.To {
+			continue
+		}
+		if err := n.CheckItem(it); err != nil {
+			return 0, fmt.Errorf("tin: batch item %d: %w", i, err)
+		}
+		if it.Time < last {
+			return 0, fmt.Errorf("tin: batch item %d at time %v precedes latest time %v: %w",
+				i, it.Time, last, ErrOutOfOrder)
+		}
+		last = it.Time
+	}
+	appended := 0
+	for _, it := range items {
+		if n.appendItem(it) {
+			appended++
+		}
+	}
+	return appended, nil
+}
+
+// AppendUnordered admits interactions regardless of their position in time.
+// Every accepted out-of-order interaction leaves the network flagged as
+// needing a Reindex: until Reindex runs, the canonical order is stale and
+// queries and in-order appends are rejected. As with AppendBatch, the batch
+// is validated atomically and self loops are skipped. It returns the number
+// of interactions appended.
+func (n *Network) AppendUnordered(items []BatchItem) (int, error) {
+	if !n.finalized {
+		return 0, errors.New("tin: AppendUnordered before Finalize")
+	}
+	for i, it := range items {
+		if it.From == it.To {
+			continue
+		}
+		if err := n.CheckItem(it); err != nil {
+			return 0, fmt.Errorf("tin: batch item %d: %w", i, err)
+		}
+	}
+	appended := 0
+	for _, it := range items {
+		late := it.Time < n.maxTime
+		if n.appendItem(it) {
+			appended++
+			if late {
+				n.needsReindex = true
+			}
+		}
+	}
+	return appended, nil
+}
+
+// Reindex re-derives the canonical order of the whole network — the same
+// (Time, insertion index) rank assignment Finalize performs — integrating
+// any out-of-order interactions admitted by AppendUnordered, and clears the
+// NeedsReindex flag. Cost is a full sort over the interactions, so callers
+// should batch out-of-order arrivals and reindex once.
+func (n *Network) Reindex() {
+	if !n.finalized {
+		panic("tin: Reindex before Finalize")
+	}
+	n.reindex()
+	n.needsReindex = false
+}

@@ -1,0 +1,215 @@
+package tin
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildNetwork finalizes a fresh network containing the given items.
+func buildNetwork(t *testing.T, numV int, items []BatchItem) *Network {
+	t.Helper()
+	n := NewNetwork(numV)
+	for _, it := range items {
+		n.AddInteraction(it.From, it.To, it.Time, it.Qty)
+	}
+	n.Finalize()
+	return n
+}
+
+// networkText renders a network in the canonical interaction text format.
+func networkText(t *testing.T, n *Network) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, n); err != nil {
+		t.Fatalf("WriteNetwork: %v", err)
+	}
+	return buf.String()
+}
+
+// TestAppendMatchesRebuild is the core streaming property: finalizing a
+// prefix and appending the suffix in time order must be indistinguishable
+// from building the whole network at once — byte-identical canonical text,
+// identical stats, identical MaxTime.
+func TestAppendMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const numV = 12
+	var items []BatchItem
+	tm := 0.0
+	for i := 0; i < 120; i++ {
+		tm += rng.Float64() // non-decreasing, occasionally tied after rounding
+		if i%7 == 0 {
+			// exact tie with the previous item
+			items = append(items, BatchItem{From: VertexID(rng.Intn(numV)), To: VertexID(rng.Intn(numV)), Time: tm, Qty: float64(rng.Intn(9))})
+		}
+		items = append(items, BatchItem{From: VertexID(rng.Intn(numV)), To: VertexID(rng.Intn(numV)), Time: tm, Qty: float64(rng.Intn(9)) + 0.5})
+	}
+
+	whole := buildNetwork(t, numV, items)
+	for _, cut := range []int{0, 1, len(items) / 2, len(items) - 1} {
+		streamed := buildNetwork(t, numV, items[:cut])
+		appended, err := streamed.AppendBatch(items[cut:])
+		if err != nil {
+			t.Fatalf("cut %d: AppendBatch: %v", cut, err)
+		}
+		wantAppended := 0
+		for _, it := range items[cut:] {
+			if it.From != it.To {
+				wantAppended++
+			}
+		}
+		if appended != wantAppended {
+			t.Fatalf("cut %d: appended %d interactions, want %d", cut, appended, wantAppended)
+		}
+		if got, want := networkText(t, streamed), networkText(t, whole); got != want {
+			t.Fatalf("cut %d: appended network text differs from rebuild", cut)
+		}
+		if streamed.Stats() != whole.Stats() {
+			t.Fatalf("cut %d: stats %+v, want %+v", cut, streamed.Stats(), whole.Stats())
+		}
+		if streamed.MaxTime() != whole.MaxTime() {
+			t.Fatalf("cut %d: MaxTime %v, want %v", cut, streamed.MaxTime(), whole.MaxTime())
+		}
+	}
+}
+
+func TestAppendOutOfOrderRejectedAtomically(t *testing.T) {
+	n := buildNetwork(t, 4, []BatchItem{{0, 1, 5, 2}, {1, 2, 7, 3}})
+	before := networkText(t, n)
+	// Second item is fine, first is late: nothing must be applied.
+	_, err := n.AppendBatch([]BatchItem{{2, 3, 6, 1}, {2, 3, 8, 1}})
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("AppendBatch late item: err = %v, want ErrOutOfOrder", err)
+	}
+	// In-batch regression is also out of order.
+	_, err = n.AppendBatch([]BatchItem{{2, 3, 9, 1}, {2, 3, 8, 1}})
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("AppendBatch in-batch regression: err = %v, want ErrOutOfOrder", err)
+	}
+	if got := networkText(t, n); got != before {
+		t.Fatal("failed AppendBatch mutated the network")
+	}
+	// Equal timestamps are legal and break ties after existing interactions.
+	if err := n.Append(2, 3, 7, 1); err != nil {
+		t.Fatalf("Append at MaxTime: %v", err)
+	}
+	if n.NumInteractions() != 3 {
+		t.Fatalf("NumInteractions = %d, want 3", n.NumInteractions())
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	n := buildNetwork(t, 3, []BatchItem{{0, 1, 1, 1}})
+	for _, bad := range []BatchItem{
+		{From: 0, To: 7, Time: 2, Qty: 1},
+		{From: -1, To: 1, Time: 2, Qty: 1},
+		{From: 0, To: 1, Time: 2, Qty: -3},
+		{From: 0, To: 1, Time: math.NaN(), Qty: 1},
+		{From: 0, To: 1, Time: 2, Qty: math.Inf(1)},
+	} {
+		if _, err := n.AppendBatch([]BatchItem{bad}); err == nil {
+			t.Errorf("AppendBatch(%+v) succeeded, want error", bad)
+		}
+	}
+	// Self loops are skipped, not errors.
+	appended, err := n.AppendBatch([]BatchItem{{2, 2, 5, 1}, {1, 2, 5, 1}})
+	if err != nil || appended != 1 {
+		t.Fatalf("AppendBatch with self loop: appended=%d err=%v, want 1, nil", appended, err)
+	}
+	if _, err := NewNetwork(2).AppendBatch(nil); err == nil {
+		t.Error("AppendBatch before Finalize succeeded, want error")
+	}
+}
+
+// TestAppendUnorderedReindex checks the explicit out-of-order path: late
+// interactions are admitted, the network demands a Reindex, and after
+// Reindex it matches a from-scratch rebuild byte for byte.
+func TestAppendUnorderedReindex(t *testing.T) {
+	items := []BatchItem{{0, 1, 10, 5}, {1, 2, 20, 4}, {2, 3, 30, 3}}
+	late := []BatchItem{{0, 2, 15, 2}, {1, 3, 5, 1}}
+
+	n := buildNetwork(t, 4, items)
+	appended, err := n.AppendUnordered(late)
+	if err != nil || appended != 2 {
+		t.Fatalf("AppendUnordered: appended=%d err=%v, want 2, nil", appended, err)
+	}
+	if !n.NeedsReindex() {
+		t.Fatal("NeedsReindex = false after out-of-order append")
+	}
+	if _, err := n.AppendBatch([]BatchItem{{0, 1, 40, 1}}); err == nil {
+		t.Fatal("AppendBatch on a network awaiting Reindex succeeded, want error")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ExtractSubgraph on a network awaiting Reindex did not panic")
+			}
+		}()
+		n.ExtractSubgraph(0, DefaultExtractOptions())
+	}()
+
+	n.Reindex()
+	if n.NeedsReindex() {
+		t.Fatal("NeedsReindex = true after Reindex")
+	}
+	whole := buildNetwork(t, 4, append(append([]BatchItem{}, items...), late...))
+	// The rebuild interleaves the late arrivals at their time positions;
+	// Reindex must produce the identical canonical order. (Insertion order
+	// differs only among distinct timestamps here, so text must match.)
+	if got, want := networkText(t, n), networkText(t, whole); got != want {
+		t.Fatalf("reindexed network text differs from rebuild:\n%s\nvs\n%s", got, want)
+	}
+	// In-order appends work again after Reindex.
+	if err := n.Append(3, 0, 40, 2); err != nil {
+		t.Fatalf("Append after Reindex: %v", err)
+	}
+
+	// In-time-order AppendUnordered never poisons the network.
+	m := buildNetwork(t, 4, items)
+	if _, err := m.AppendUnordered([]BatchItem{{0, 2, 35, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.NeedsReindex() {
+		t.Fatal("NeedsReindex = true after an in-order AppendUnordered")
+	}
+}
+
+func TestGrowVertices(t *testing.T) {
+	n := buildNetwork(t, 2, []BatchItem{{0, 1, 1, 1}})
+	if err := n.Append(0, 2, 2, 1); err == nil {
+		t.Fatal("Append beyond vertex range succeeded, want error")
+	}
+	n.GrowVertices(4)
+	if n.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d, want 4", n.NumVertices())
+	}
+	n.GrowVertices(3) // shrink requests are no-ops
+	if n.NumVertices() != 4 {
+		t.Fatalf("NumVertices after no-op grow = %d, want 4", n.NumVertices())
+	}
+	if err := n.Append(2, 3, 2, 1); err != nil {
+		t.Fatalf("Append to grown vertex: %v", err)
+	}
+	if n.OutDegree(2) != 1 || n.InDegree(3) != 1 {
+		t.Fatal("grown vertices did not receive the appended edge")
+	}
+}
+
+// TestAppendEmptyNetwork covers the live-service bootstrap: a network
+// finalized empty, then populated entirely by appends.
+func TestAppendEmptyNetwork(t *testing.T) {
+	n := NewNetwork(3)
+	n.Finalize()
+	if !math.IsInf(n.MaxTime(), -1) {
+		t.Fatalf("empty MaxTime = %v, want -inf", n.MaxTime())
+	}
+	if _, err := n.AppendBatch([]BatchItem{{0, 1, 3, 2}, {1, 2, 4, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buildNetwork(t, 3, []BatchItem{{0, 1, 3, 2}, {1, 2, 4, 2}})
+	if got, want := networkText(t, n), networkText(t, whole); got != want {
+		t.Fatalf("append-only network text differs from rebuild:\n%s\nvs\n%s", got, want)
+	}
+}

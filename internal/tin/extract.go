@@ -42,6 +42,9 @@ func (n *Network) ExtractSubgraph(seed VertexID, opts ExtractOptions) (*Graph, b
 	if !n.finalized {
 		panic("tin: ExtractSubgraph before Finalize")
 	}
+	if n.needsReindex {
+		panic("tin: ExtractSubgraph on a network awaiting Reindex")
+	}
 	if opts.MaxHops < 2 {
 		panic(fmt.Sprintf("tin: MaxHops must be >= 2, got %d", opts.MaxHops))
 	}
@@ -193,6 +196,9 @@ func (n *Network) BuildFlowGraph(edgeIDs []EdgeID, source, sink VertexID) *Graph
 func (n *Network) FlowSubgraphBetween(source, sink VertexID) (*Graph, bool) {
 	if !n.finalized {
 		panic("tin: FlowSubgraphBetween before Finalize")
+	}
+	if n.needsReindex {
+		panic("tin: FlowSubgraphBetween on a network awaiting Reindex")
 	}
 	if source == sink {
 		panic("tin: source equals sink; use ExtractSubgraph for returning-path flow")

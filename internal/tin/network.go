@@ -26,6 +26,13 @@ type Network struct {
 	numIA     int
 	nextOrd   int64
 	finalized bool
+
+	// maxTime is the latest interaction timestamp (-inf when empty); it is
+	// derived by Finalize/Reindex and maintained by the append path.
+	maxTime float64
+	// needsReindex is set by AppendUnordered when an out-of-order
+	// interaction is admitted, and cleared by Reindex (see append.go).
+	needsReindex bool
 }
 
 // NewNetwork creates an empty network with numV vertices.
@@ -35,6 +42,7 @@ func NewNetwork(numV int) *Network {
 		out:     make([][]EdgeID, numV),
 		in:      make([][]EdgeID, numV),
 		edgeIdx: make(map[int64]EdgeID),
+		maxTime: math.Inf(-1),
 	}
 }
 
@@ -90,6 +98,12 @@ func (n *Network) Finalize() {
 		panic("tin: Finalize called twice")
 	}
 	n.finalized = true
+	n.reindex()
+}
+
+// reindex performs the canonical (Time, insertion index) rank assignment
+// shared by Finalize and Reindex, and re-derives maxTime.
+func (n *Network) reindex() {
 	type ref struct {
 		e EdgeID
 		i int32
@@ -114,6 +128,12 @@ func (n *Network) Finalize() {
 	for e := range n.edges {
 		seq := n.edges[e].Seq
 		sort.Slice(seq, func(a, b int) bool { return seq[a].Ord < seq[b].Ord })
+	}
+	n.nextOrd = int64(len(refs))
+	n.maxTime = math.Inf(-1)
+	if len(refs) > 0 {
+		last := refs[len(refs)-1]
+		n.maxTime = n.edges[last.e].Seq[len(n.edges[last.e].Seq)-1].Time
 	}
 }
 
