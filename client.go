@@ -43,6 +43,14 @@ type (
 	CreateNetworkRequest = server.CreateNetworkRequest
 	// CreateNetworkResult is the POST /networks answer.
 	CreateNetworkResult = server.CreateNetworkResult
+	// StoreStats are the store-wide durability counters inside a
+	// StatsResult (WAL appends/fsyncs, snapshots, recoveries).
+	StoreStats = server.StoreStats
+	// DurabilityInfo is one network's durability state inside a
+	// HealthzResult (pending WAL records/bytes, last snapshot time).
+	DurabilityInfo = server.DurabilityInfo
+	// HealthzResult is the GET /healthz answer.
+	HealthzResult = server.HealthzResult
 )
 
 // FlowQueryOptions are the optional knobs of Client.Flow and
@@ -181,6 +189,14 @@ func (c *Client) Networks(ctx context.Context) (map[string]NetworkInfo, error) {
 func (c *Client) Stats(ctx context.Context) (StatsResult, error) {
 	var res StatsResult
 	err := c.get(ctx, "/stats", nil, &res)
+	return res, err
+}
+
+// Healthz fetches liveness plus every network's durability state — the
+// checkpoint lag an operator watches on a flownetd running with -data-dir.
+func (c *Client) Healthz(ctx context.Context) (HealthzResult, error) {
+	var res HealthzResult
+	err := c.get(ctx, "/healthz", nil, &res)
 	return res, err
 }
 

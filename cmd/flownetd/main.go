@@ -21,6 +21,13 @@
 // worker pool. With -allow-ingest the service may start with no -net at
 // all and be populated entirely over HTTP.
 //
+// With -data-dir the catalog is durable (internal/store): every accepted
+// ingest batch is written to a per-network WAL before it is acknowledged,
+// checkpointed into binary snapshots every -snapshot-every records, and
+// the whole catalog — networks created over HTTP included — is recovered
+// from the directory on the next start. -wal-sync additionally fsyncs the
+// WAL per batch, surviving power loss rather than just process death.
+//
 // Exit codes: 0 after a clean shutdown, 1 on a runtime failure, 2 on a
 // usage error.
 package main
@@ -42,6 +49,7 @@ import (
 	"flownet"
 	"flownet/internal/cli"
 	"flownet/internal/server"
+	"flownet/internal/store"
 )
 
 // netList collects repeated -net flags ("name=path", or a bare path whose
@@ -72,6 +80,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		engine      = fs.String("engine", "lp", "exact engine for class-C instances: lp | teg")
 		precompute  = fs.Bool("precompute", false, "build the PB pattern tables of every network at startup instead of on first use")
 		allowIngest = fs.Bool("allow-ingest", false, "enable the write path: POST /ingest and POST /networks")
+		dataDir     = fs.String("data-dir", "", "durable storage directory (per-network WAL + binary snapshots); empty = in-memory only")
+		walSync     = fs.Bool("wal-sync", false, "fsync the WAL after every accepted batch instead of only at checkpoints (requires -data-dir)")
+		snapEvery   = fs.Int("snapshot-every", 0, "WAL records per network that trigger a background snapshot (0 = default 256, negative = never; requires -data-dir)")
 	)
 	fs.Var(&nets, "net", "network to load, as name=path or path (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -80,8 +91,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		return cli.ErrUsage
 	}
-	if len(nets) == 0 && !*allowIngest {
-		fmt.Fprintln(stderr, "flownetd: at least one -net is required (or -allow-ingest to start empty)")
+	if *dataDir == "" && (*walSync || *snapEvery != 0) {
+		fmt.Fprintln(stderr, "flownetd: -wal-sync and -snapshot-every need -data-dir")
 		fs.Usage()
 		return cli.ErrUsage
 	}
@@ -95,9 +106,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cli.ErrUsage
 	}
 
-	srv := server.New(server.Config{Workers: *workers, CacheSize: *cacheSize, Engine: eng, AllowIngest: *allowIngest})
+	st, err := store.Open(store.Config{Dir: *dataDir, SyncEveryBatch: *walSync, SnapshotEvery: *snapEvery})
+	if err != nil {
+		return fmt.Errorf("opening data directory %s: %w", *dataDir, err)
+	}
+	defer st.Close()
+	recovered := make(map[string]bool, st.Len())
+	for _, sh := range st.Shards() {
+		stats := sh.NetStats()
+		logger.Printf("recovered %q from %s: %d vertices, %d interactions, generation %d",
+			sh.Name(), *dataDir, stats.Vertices, stats.Interactions, sh.Generation())
+		recovered[sh.Name()] = true
+	}
+	if len(nets) == 0 && !*allowIngest && st.Len() == 0 {
+		fmt.Fprintln(stderr, "flownetd: at least one -net is required (or -allow-ingest / a non-empty -data-dir to start without one)")
+		fs.Usage()
+		return cli.ErrUsage
+	}
+
+	srv := server.New(server.Config{Workers: *workers, CacheSize: *cacheSize, Engine: eng, AllowIngest: *allowIngest, Store: st})
 	for _, spec := range nets {
 		name, path := splitNetSpec(spec)
+		if recovered[name] {
+			// The data directory already holds this network — including
+			// everything ingested since it was first loaded. Reloading the
+			// file would silently discard that, so the recovered state wins.
+			// (A name duplicated between two -net flags is not skipped: it
+			// fails in AddNetwork below, as it always has.)
+			logger.Printf("skipping -net %s: %q already recovered from %s", path, name, *dataDir)
+			continue
+		}
 		t0 := time.Now()
 		n, err := flownet.LoadNetwork(path)
 		if err != nil {
@@ -121,10 +159,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("serving on %s (workers=%d, cache-size=%d, engine=%s, ingest=%v)",
-		ln.Addr(), *workers, *cacheSize, *engine, *allowIngest)
+	durable := "off"
+	if *dataDir != "" {
+		durable = *dataDir
+	}
+	logger.Printf("serving on %s (workers=%d, cache-size=%d, engine=%s, ingest=%v, data-dir=%s)",
+		ln.Addr(), *workers, *cacheSize, *engine, *allowIngest, durable)
 	if err := srv.Serve(ctx, ln); err != nil {
 		return err
+	}
+	// Flush every WAL before reporting a clean exit; the deferred Close is
+	// then a no-op (Close is idempotent).
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("closing store: %w", err)
 	}
 	logger.Print("shut down cleanly")
 	return nil

@@ -61,6 +61,24 @@
 // server. See the README's Serving and Streaming ingestion sections for
 // curl walkthroughs.
 //
+// # Durability
+//
+// Store (OpenStore) is the durable network catalog behind flownetd
+// -data-dir: it owns a set of live networks as Shards, records every
+// accepted mutation to a per-network write-ahead log before acknowledging
+// it, checkpoints networks into binary snapshots, and recovers the exact
+// acknowledged state — contents, pending buffer and generation — from the
+// data directory after a crash. Library users get the same guarantees
+// without the HTTP layer:
+//
+//	st, _ := flownet.OpenStore(flownet.StoreConfig{Dir: "data"})
+//	defer st.Close()
+//	sh, _ := st.Create("payments", 4)
+//	sh.Append([]flownet.StreamItem{{From: 0, To: 1, Time: 1, Qty: 50}},
+//	    flownet.StreamOptions{})
+//
+// An empty Dir yields a purely in-memory catalog with the same API.
+//
 // # Reproduction
 //
 // cmd/repro regenerates every table and figure of the paper's evaluation on
@@ -73,6 +91,7 @@ import (
 	"flownet/internal/core"
 	"flownet/internal/datagen"
 	"flownet/internal/pattern"
+	"flownet/internal/store"
 	"flownet/internal/stream"
 	"flownet/internal/teg"
 	"flownet/internal/tin"
@@ -125,6 +144,54 @@ const (
 // ErrOutOfOrder reports an appended interaction whose timestamp precedes
 // the network's latest timestamp (see Network.AppendBatch).
 var ErrOutOfOrder = tin.ErrOutOfOrder
+
+// Durable network store (see internal/store): the catalog behind flownetd
+// -data-dir, usable directly by library code that wants crash-safe live
+// networks without the HTTP layer.
+type (
+	// Store is a concurrency-safe catalog of live networks with an opt-in
+	// durability layer (per-network write-ahead logs plus binary
+	// snapshots). Create one with OpenStore.
+	Store = store.Store
+	// StoreConfig configures OpenStore: the data directory (empty =
+	// in-memory only), the WAL fsync policy and the snapshot cadence.
+	StoreConfig = store.Config
+	// Shard is one live network owned by a Store: the query surface plus
+	// the durable mutation path (Append, Reindex, Snapshot).
+	Shard = store.Shard
+	// ShardDurability describes one shard's durability state: WAL records
+	// and bytes pending since the last checkpoint, and when that was.
+	ShardDurability = store.Durability
+	// StoreCounters are the store-wide durability counters (WAL appends,
+	// fsyncs, snapshots, recoveries).
+	StoreCounters = store.Stats
+	// StreamItem is one streamed interaction for Shard.Append and
+	// LiveNetwork appends via the store.
+	StreamItem = stream.Item
+)
+
+// Store error classes, for errors.Is on Shard/Store mutation errors.
+var (
+	// ErrStoreDuplicate reports a Create/Add under an already-registered
+	// network name.
+	ErrStoreDuplicate = store.ErrDuplicate
+	// ErrStoreDurability wraps WAL failures on the write path: the batch
+	// was applied in memory but could not be made durable, so the caller
+	// must not treat it as acknowledged.
+	ErrStoreDurability = store.ErrDurability
+)
+
+// OpenStore creates a network store. With cfg.Dir set it recovers every
+// network found there (newest snapshot plus WAL replay) before returning;
+// with an empty Dir it is a purely in-memory catalog and cannot fail.
+// Close the store to fsync and release its write-ahead logs.
+func OpenStore(cfg StoreConfig) (*Store, error) { return store.Open(cfg) }
+
+// SaveNetworkBinary writes a network to the named file in the length-
+// prefixed binary snapshot codec — the format the store's checkpoints use,
+// measurably faster to load than the text format. LoadNetwork reads both
+// (the format is sniffed), so binary files are drop-in replacements.
+func SaveNetworkBinary(path string, n *Network) error { return tin.SaveNetworkBinary(path, n) }
 
 // NewLiveNetwork makes a finalized network live-updatable; the caller must
 // not use n directly afterwards.
@@ -209,7 +276,8 @@ func NewGraph(numV int, source, sink VertexID) *Graph { return tin.NewGraph(numV
 // NewNetwork creates an empty interaction network with numV vertices.
 func NewNetwork(numV int) *Network { return tin.NewNetwork(numV) }
 
-// LoadNetwork reads a network from a text (optionally .gz) interaction file.
+// LoadNetwork reads a network from an interaction file — text or binary
+// (the format is sniffed), optionally gzip-compressed under a .gz name.
 func LoadNetwork(path string) (*Network, error) { return tin.LoadNetwork(path) }
 
 // SaveNetwork writes a network to a text (optionally .gz) interaction file.

@@ -21,6 +21,14 @@
 // verbatim — a repeated query returns a byte-identical body without
 // touching the flow machinery. The X-Flownet-Cache response header reports
 // "hit" or "miss".
+//
+// Network ownership lives in internal/store, not here: the store is the
+// catalog (registration, lookup, ingestion, durability) and this package
+// is only the HTTP surface over it. Cache invalidation and PB-table
+// staleness are driven by the store's change notifications — every
+// generation bump purges that network's memoized responses, and the
+// generation tag on the lazily built pattern tables triggers their rebuild
+// on the next query.
 package server
 
 import (
@@ -43,6 +51,7 @@ import (
 	"flownet/internal/core"
 	"flownet/internal/par"
 	"flownet/internal/pattern"
+	"flownet/internal/store"
 	"flownet/internal/stream"
 	"flownet/internal/teg"
 	"flownet/internal/tin"
@@ -56,8 +65,9 @@ const (
 	maxBodyBytes   = 8 << 20
 	maxCachedBytes = 4 << 20
 	// maxCreateVertices caps POST /networks so one request cannot allocate
-	// unbounded adjacency arrays.
-	maxCreateVertices = 1 << 24
+	// unbounded adjacency arrays. tin.MaxVertices is the shared ceiling, so
+	// anything this endpoint accepts, the store can recover.
+	maxCreateVertices = tin.MaxVertices
 	// statusClientClosedRequest is nginx's conventional status for requests
 	// the client abandoned; the client never sees it, but it keeps the
 	// error metrics honest about why the batch was cut short.
@@ -69,10 +79,6 @@ var (
 	negInf = math.Inf(-1)
 	posInf = math.Inf(1)
 )
-
-// errDuplicateNetwork distinguishes the name-collision failure of addEntry
-// (mapped to 409 Conflict by POST /networks) from plain validation errors.
-var errDuplicateNetwork = errors.New("already loaded")
 
 // Config configures a Server.
 type Config struct {
@@ -89,69 +95,145 @@ type Config struct {
 	// to a loaded network) and POST /networks (register a new empty
 	// network). Off by default; both endpoints answer 403 then.
 	AllowIngest bool
+	// Store is the network catalog the server serves. Nil selects a fresh
+	// in-memory (non-durable) store; cmd/flownetd passes a durable one
+	// opened on -data-dir so the catalog survives restarts.
+	Store *store.Store
 }
 
-// Server holds loaded networks and serves flow and pattern queries over
-// them. Create one with New, add finalized networks with AddNetwork, then
-// serve Handler (or call ListenAndServe).
+// Server serves flow and pattern queries over the networks owned by its
+// store. Create one with New, add finalized networks with AddNetwork (or
+// hand New a pre-populated store), then serve Handler (or call
+// ListenAndServe).
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
-	netsMu  sync.RWMutex // guards the nets map (POST /networks adds entries at runtime)
-	nets    map[string]*netEntry
+	store   *store.Store
 	cache   *cache.Cache[string, []byte]
 	started time.Time
 	metrics map[string]*endpointMetrics
-}
 
-// netEntry is one loaded network — live-updatable via internal/stream —
-// plus its lazily built, generation-tagged PB path tables.
-type netEntry struct {
-	name string
-	live *stream.Network
-
+	// tables caches the lazily built PB path tables per shard. This is
+	// derived, rebuildable state — the store owns the networks themselves.
 	tablesMu sync.Mutex
-	tables   pattern.Tables
-	// tablesGen is the generation the cached tables were built for; 0
-	// means never built. Ingestion bumps the network generation, so stale
-	// tables are detected and rebuilt on the next PB query.
-	tablesGen uint64
+	tables   map[*store.Shard]*tableCache
+
+	// dirty collects networks whose cached responses await purging; a
+	// single drainer goroutine (purging) coalesces bursts so ingest-heavy
+	// traffic runs at most one cache scan at a time.
+	dirtyMu sync.Mutex
+	dirty   map[string]bool
+	purging bool
 }
 
-// getTables returns the PB path tables for generation gen of n (with the
-// C2 chain table included, so every catalogue pattern has a PB plan),
-// rebuilding them when ingestion has advanced the network past the cached
-// build. Callers must hold the entry's stream read lock, so n cannot
-// change underneath the build.
-func (e *netEntry) getTables(n *tin.Network, gen uint64) pattern.Tables {
-	e.tablesMu.Lock()
-	defer e.tablesMu.Unlock()
-	if e.tablesGen != gen {
-		e.tables = pattern.Precompute(n, true)
-		e.tablesGen = gen
+// markDirty queues an asynchronous purge of one network's cached
+// responses. Called from the store's change notification, which fires
+// with the network's write lock held — the scan must not run there.
+// Eagerness is an optimization only: cache keys carry the generation, so
+// the bump already made every stale entry unreachable.
+func (s *Server) markDirty(name string) {
+	s.dirtyMu.Lock()
+	s.dirty[name] = true
+	spawn := !s.purging
+	s.purging = true
+	s.dirtyMu.Unlock()
+	if spawn {
+		go s.purgeDirty()
 	}
-	return e.tables
 }
 
-// tablesReady reports whether the cached tables match generation gen.
-func (e *netEntry) tablesReady(gen uint64) bool {
-	e.tablesMu.Lock()
-	defer e.tablesMu.Unlock()
-	return e.tablesGen == gen
+// purgeDirty drains the dirty set, one full cache scan per distinct
+// network, and exits when the set is empty.
+func (s *Server) purgeDirty() {
+	for {
+		s.dirtyMu.Lock()
+		var name string
+		found := false
+		for n := range s.dirty {
+			name, found = n, true
+			break
+		}
+		if !found {
+			s.purging = false
+			s.dirtyMu.Unlock()
+			return
+		}
+		delete(s.dirty, name)
+		s.dirtyMu.Unlock()
+		s.invalidateNetwork(name)
+	}
+}
+
+// tableCache is one shard's lazily built, generation-tagged PB path
+// tables.
+type tableCache struct {
+	mu     sync.Mutex
+	tables pattern.Tables
+	// gen is the generation the cached tables were built for; 0 means
+	// never built. Ingestion bumps the network generation, so stale tables
+	// are detected and rebuilt on the next PB query.
+	gen uint64
+}
+
+// get returns the PB path tables for generation gen of n (with the C2
+// chain table included, so every catalogue pattern has a PB plan),
+// rebuilding them when ingestion has advanced the network past the cached
+// build. Callers must hold the shard's stream read lock, so n cannot
+// change underneath the build.
+func (tc *tableCache) get(n *tin.Network, gen uint64) pattern.Tables {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.gen != gen {
+		tc.tables = pattern.Precompute(n, true)
+		tc.gen = gen
+	}
+	return tc.tables
+}
+
+// ready reports whether the cached tables match generation gen.
+func (tc *tableCache) ready(gen uint64) bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.gen == gen
+}
+
+// tablesFor returns (lazily creating) the table cache of a shard.
+func (s *Server) tablesFor(sh *store.Shard) *tableCache {
+	s.tablesMu.Lock()
+	defer s.tablesMu.Unlock()
+	tc, ok := s.tables[sh]
+	if !ok {
+		tc = &tableCache{}
+		s.tables[sh] = tc
+	}
+	return tc
 }
 
 // routes lists every instrumented endpoint, in /stats display order.
 var routes = []string{"/flow", "/flow/batch", "/patterns", "/ingest", "/networks", "/stats", "/healthz"}
 
-// New creates a server with no networks loaded.
+// New creates a server over cfg.Store (or a fresh in-memory store when
+// nil). Every change the store accepts — from this server's /ingest or
+// from any other store client — purges that network's cached responses.
+// The subscription lasts for the store's lifetime (store.Subscribe has no
+// unsubscribe), so create at most one server per store and let them share
+// that lifetime; a discarded server would otherwise stay pinned by the
+// store's callback list.
 func New(cfg Config) *Server {
+	st := cfg.Store
+	if st == nil {
+		st, _ = store.Open(store.Config{}) // memory-only Open cannot fail
+	}
 	s := &Server{
 		cfg:     cfg,
-		nets:    make(map[string]*netEntry),
+		store:   st,
 		cache:   cache.New[string, []byte](cfg.CacheSize),
 		started: time.Now(),
 		metrics: make(map[string]*endpointMetrics, len(routes)),
+		tables:  make(map[*store.Shard]*tableCache),
+		dirty:   make(map[string]bool),
 	}
+	st.Subscribe(func(name string, _ uint64) { s.markDirty(name) })
 	for _, r := range routes {
 		s.metrics[r] = &endpointMetrics{}
 	}
@@ -167,52 +249,30 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// AddNetwork registers a finalized network under the given name. When
-// exactly one network is loaded, requests may omit the network parameter.
-// The caller must not use n directly afterwards: the server wraps it for
-// live updates, and direct access would race with ingestion.
+// AddNetwork registers a finalized network under the given name — a thin
+// wrapper over the store's Add (which, on a durable store, also writes the
+// network's initial snapshot). When exactly one network is loaded,
+// requests may omit the network parameter. The caller must not use n
+// directly afterwards: the store wraps it for live updates, and direct
+// access would race with ingestion.
 func (s *Server) AddNetwork(name string, n *tin.Network) error {
 	if n == nil || !n.Finalized() {
 		return fmt.Errorf("server: network %q must be non-nil and finalized", name)
 	}
-	live, err := stream.Wrap(n)
-	if err != nil {
-		return fmt.Errorf("server: network %q: %w", name, err)
-	}
-	return s.addEntry(name, live)
+	_, err := s.store.Add(name, n)
+	return err
 }
 
-// addEntry validates the name and registers a live network under it.
-func (s *Server) addEntry(name string, live *stream.Network) error {
-	if name == "" || strings.ContainsAny(name, "|\n") {
-		return fmt.Errorf("server: invalid network name %q", name)
-	}
-	s.netsMu.Lock()
-	defer s.netsMu.Unlock()
-	if _, dup := s.nets[name]; dup {
-		return fmt.Errorf("server: network %q: %w", name, errDuplicateNetwork)
-	}
-	s.nets[name] = &netEntry{name: name, live: live}
-	return nil
-}
-
-// entries snapshots the registered networks.
-func (s *Server) entries() []*netEntry {
-	s.netsMu.RLock()
-	defer s.netsMu.RUnlock()
-	es := make([]*netEntry, 0, len(s.nets))
-	for _, e := range s.nets {
-		es = append(es, e)
-	}
-	return es
-}
+// Store returns the network catalog the server serves.
+func (s *Server) Store() *store.Store { return s.store }
 
 // PrecomputeTables eagerly builds the PB path tables of every loaded
 // network (they are otherwise built on the first /patterns?mode=pb query).
 func (s *Server) PrecomputeTables() {
-	for _, e := range s.entries() {
-		e.live.View(func(n *tin.Network, gen uint64) {
-			e.getTables(n, gen)
+	for _, sh := range s.store.Shards() {
+		tc := s.tablesFor(sh)
+		sh.View(func(n *tin.Network, gen uint64) {
+			tc.get(n, gen)
 		})
 	}
 }
@@ -257,22 +317,8 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 // network resolves the "net" query parameter (or BatchRequest.Network):
 // empty selects the sole loaded network, anything else must match a name.
-func (s *Server) network(name string) (*netEntry, error) {
-	s.netsMu.RLock()
-	defer s.netsMu.RUnlock()
-	if name == "" {
-		if len(s.nets) == 1 {
-			for _, e := range s.nets {
-				return e, nil
-			}
-		}
-		return nil, fmt.Errorf("%d networks loaded; pass net=<name>", len(s.nets))
-	}
-	e, ok := s.nets[name]
-	if !ok {
-		return nil, fmt.Errorf("unknown network %q", name)
-	}
-	return e, nil
+func (s *Server) network(name string) (*store.Shard, error) {
+	return s.store.Resolve(name)
 }
 
 // workers clamps a per-request worker count to the server's bound.
@@ -408,7 +454,7 @@ func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 // extracted subgraph before solving.
 func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	e, err := s.network(q.Get("net"))
+	sh, err := s.network(q.Get("net"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -417,7 +463,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	// resolves the parameters is the one that answers, and gen tags every
 	// cache key so an ingest (which bumps gen) can never serve this
 	// version's answer to a later request.
-	n, gen, release := e.live.Acquire()
+	n, gen, release := sh.Acquire()
 	defer release()
 	seed, seedMode, err := s.vertexParam(q, "seed", n)
 	if err != nil {
@@ -454,11 +500,11 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		key := fmt.Sprintf("flow|%s|g%d|seed|%d|%d|%d|%s", e.name, gen, seed, opts.MaxHops, opts.MaxInteractions, windowKey)
+		key := fmt.Sprintf("flow|%s|g%d|seed|%d|%d|%d|%s", sh.Name(), gen, seed, opts.MaxHops, opts.MaxInteractions, windowKey)
 		if s.serveCached(w, "/flow", key) {
 			return
 		}
-		res := FlowResult{Network: e.name, Query: "seed", Seed: int(seed)}
+		res := FlowResult{Network: sh.Name(), Query: "seed", Seed: int(seed)}
 		g, ok := n.ExtractSubgraph(seed, opts)
 		if ok {
 			if window {
@@ -487,11 +533,11 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "source and sink must differ (use seed=%d for returning-path flow)", src)
 		return
 	}
-	key := fmt.Sprintf("flow|%s|g%d|pair|%d|%d|%s", e.name, gen, src, snk, windowKey)
+	key := fmt.Sprintf("flow|%s|g%d|pair|%d|%d|%s", sh.Name(), gen, src, snk, windowKey)
 	if s.serveCached(w, "/flow", key) {
 		return
 	}
-	res := FlowResult{Network: e.name, Query: "pair", Source: int(src), Sink: int(snk)}
+	res := FlowResult{Network: sh.Name(), Query: "pair", Source: int(src), Sink: int(snk)}
 	g, ok := n.FlowSubgraphBetween(src, snk)
 	if ok {
 		if window {
@@ -539,12 +585,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
 		return
 	}
-	e, err := s.network(req.Network)
+	sh, err := s.network(req.Network)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	n, gen, release := e.live.Acquire()
+	n, gen, release := sh.Acquire()
 	defer release()
 	opts, err := extractParams(req.Hops, req.MaxInteractions)
 	if err != nil {
@@ -589,7 +635,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// Workers are excluded from the key: results are identical for every
 	// worker count (see the library's Concurrency guarantee).
-	key := fmt.Sprintf("batch|%s|g%d|%d|%d|%s", e.name, gen, opts.MaxHops, opts.MaxInteractions, seedsKey)
+	key := fmt.Sprintf("batch|%s|g%d|%d|%d|%s", sh.Name(), gen, opts.MaxHops, opts.MaxInteractions, seedsKey)
 	if s.serveCached(w, "/flow/batch", key) {
 		return
 	}
@@ -605,7 +651,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	res := BatchResult{Network: e.name, Results: make([]SeedFlowResult, len(results))}
+	res := BatchResult{Network: sh.Name(), Results: make([]SeedFlowResult, len(results))}
 	for i, r := range results {
 		res.Results[i] = SeedFlowResult{Seed: int(r.Seed), Ok: r.Ok}
 		if r.Ok {
@@ -622,7 +668,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // (default; tables built lazily per network) or GB.
 func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	e, err := s.network(q.Get("net"))
+	sh, err := s.network(q.Get("net"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -648,9 +694,9 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	n, gen, release := e.live.Acquire()
+	n, gen, release := sh.Acquire()
 	defer release()
-	key := fmt.Sprintf("patterns|%s|g%d|%s|%s|%d|%d", e.name, gen, p.Name, mode, maxInst, minPaths)
+	key := fmt.Sprintf("patterns|%s|g%d|%s|%s|%d|%d", sh.Name(), gen, p.Name, mode, maxInst, minPaths)
 	if s.serveCached(w, "/patterns", key) {
 		return
 	}
@@ -662,7 +708,7 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	}
 	var sum pattern.Summary
 	if mode == "pb" {
-		sum, err = pattern.SearchPB(n, e.getTables(n, gen), p, opts)
+		sum, err = pattern.SearchPB(n, s.tablesFor(sh).get(n, gen), p, opts)
 	} else {
 		sum, err = pattern.SearchGB(n, p, opts)
 	}
@@ -671,7 +717,7 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respond(w, key, PatternResult{
-		Network:   e.name,
+		Network:   sh.Name(),
 		Pattern:   sum.Pattern,
 		Mode:      mode,
 		Instances: sum.Instances,
@@ -688,11 +734,19 @@ func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
 
 // handleStats answers GET /stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
 	res := StatsResult{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Networks:      s.networkInfos(),
 		Endpoints:     make(map[string]EndpointStats, len(routes)),
 		Cache:         s.cache.Stats(),
+		Store: StoreStats{
+			Durable:    st.Durable,
+			WALAppends: st.WALAppends,
+			WALFsyncs:  st.WALFsyncs,
+			Snapshots:  st.Snapshots,
+			Recoveries: st.Recoveries,
+		},
 	}
 	for _, route := range routes {
 		res.Endpoints[route] = s.metrics[route].snapshot()
@@ -700,28 +754,48 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// handleHealthz answers GET /healthz.
+// handleHealthz answers GET /healthz: liveness plus the per-network
+// durability state, so operators can watch checkpoint lag (WAL bytes that
+// a crash right now would have to replay, and when the last snapshot
+// landed).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	res := HealthzResult{Ok: true, Networks: map[string]DurabilityInfo{}}
+	for _, sh := range s.store.Shards() {
+		d := sh.Durability()
+		info := DurabilityInfo{
+			Durable:           d.Durable,
+			WALRecordsPending: d.WALRecordsPending,
+			WALBytesPending:   d.WALBytesPending,
+			BaseGeneration:    d.BaseGeneration,
+			CheckpointError:   d.CheckpointError,
+			WALError:          d.WALError,
+		}
+		if !d.LastSnapshot.IsZero() {
+			info.LastSnapshotUnixMs = d.LastSnapshot.UnixMilli()
+		}
+		res.Networks[sh.Name()] = info
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) networkInfos() map[string]NetworkInfo {
-	es := s.entries()
-	infos := make(map[string]NetworkInfo, len(es))
-	for _, e := range es {
+	shs := s.store.Shards()
+	infos := make(map[string]NetworkInfo, len(shs))
+	for _, sh := range shs {
 		// Pending takes the stream's read lock itself, so it must be read
 		// before View (re-entering the RWMutex while a writer waits would
 		// deadlock). The two reads may straddle an append; a momentarily
 		// inconsistent stats row is fine.
-		pending := e.live.Pending()
-		e.live.View(func(n *tin.Network, gen uint64) {
+		pending := sh.Pending()
+		tc := s.tablesFor(sh)
+		sh.View(func(n *tin.Network, gen uint64) {
 			st := n.Stats()
-			infos[e.name] = NetworkInfo{
+			infos[sh.Name()] = NetworkInfo{
 				Vertices:            st.Vertices,
 				Edges:               st.Edges,
 				Interactions:        st.Interactions,
 				AvgQty:              st.AvgQty,
-				TablesReady:         e.tablesReady(gen),
+				TablesReady:         tc.ready(gen),
 				Generation:          gen,
 				PendingInteractions: pending,
 			}
@@ -750,11 +824,13 @@ func (s *Server) handleCreateNetwork(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "vertices must be in [0,%d], got %d", maxCreateVertices, req.Vertices)
 		return
 	}
-	live := stream.NewEmpty(req.Vertices)
-	if err := s.addEntry(req.Name, live); err != nil {
+	sh, err := s.store.Create(req.Name, req.Vertices)
+	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, errDuplicateNetwork) {
+		if errors.Is(err, store.ErrDuplicate) {
 			status = http.StatusConflict
+		} else if errors.Is(err, store.ErrDurability) {
+			status = http.StatusInternalServerError
 		}
 		writeError(w, status, "%v", err)
 		return
@@ -762,16 +838,18 @@ func (s *Server) handleCreateNetwork(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CreateNetworkResult{
 		Name:       req.Name,
 		Vertices:   req.Vertices,
-		Generation: live.Generation(),
+		Generation: sh.Generation(),
 	})
 }
 
 // handleIngest answers POST /ingest: append a time-ordered interaction
 // batch to a loaded network (and/or merge its pending out-of-order buffer
-// when Reindex is set). Gated by Config.AllowIngest. After an append that
-// changed what queries can observe, the network's cached answers — and
-// only that network's — are dropped; its bumped generation would make them
-// unreachable anyway, but dropping them eagerly frees the LRU slots.
+// when Reindex is set). Gated by Config.AllowIngest. The store both makes
+// the batch durable (WAL, on a durable store) and drives the cache purge:
+// its change notification fires for every append that changed what queries
+// can observe, dropping that network's cached answers — and only that
+// network's. Their bumped generation would make them unreachable anyway,
+// but dropping them eagerly frees the LRU slots.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !s.cfg.AllowIngest {
 		writeError(w, http.StatusForbidden, "ingestion disabled (start flownetd with -allow-ingest)")
@@ -788,7 +866,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no interactions given (pass interactions, or reindex to merge the pending buffer)")
 		return
 	}
-	e, err := s.network(req.Network)
+	sh, err := s.network(req.Network)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -805,21 +883,26 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if req.AllowOutOfOrder {
 		policy = stream.PolicyDefer
 	}
-	genBefore := e.live.Generation()
-	ares, err := e.live.Append(items, stream.Options{OnOutOfOrder: policy, Grow: req.Grow})
+	ares, err := sh.Append(items, stream.Options{OnOutOfOrder: policy, Grow: req.Grow})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		status := http.StatusBadRequest
+		if errors.Is(err, store.ErrDurability) {
+			// The batch is applied in memory but not on disk: the client
+			// must not treat it as acknowledged.
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
 	res := IngestResult{
-		Network:    e.name,
+		Network:    sh.Name(),
 		Appended:   ares.Appended,
 		Deferred:   ares.Deferred,
 		Skipped:    ares.Skipped,
 		Generation: ares.Generation,
 	}
 	if req.Reindex {
-		rres, err := e.live.Reindex()
+		rres, err := sh.Reindex()
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "reindex: %v", err)
 			return
@@ -828,10 +911,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		res.Reindexed = true
 		res.Generation = rres.Generation
 	}
-	res.Pending = e.live.Pending()
-	if res.Generation != genBefore {
-		s.invalidateNetwork(e.name)
-	}
+	res.Pending = sh.Pending()
 	writeJSON(w, http.StatusOK, res)
 }
 

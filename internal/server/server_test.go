@@ -445,9 +445,16 @@ func TestStatsAndNetworksEndpoints(t *testing.T) {
 		t.Fatalf("uptime %v", stats.UptimeSeconds)
 	}
 
-	var health map[string]bool
-	if status, _, _ := get(t, ts, "/healthz", &health); status != http.StatusOK || !health["ok"] {
+	var health HealthzResult
+	if status, _, _ := get(t, ts, "/healthz", &health); status != http.StatusOK || !health.Ok {
 		t.Fatalf("healthz status %d, body %+v", status, health)
+	}
+	// An in-memory server reports the network as non-durable.
+	if d, ok := health.Networks["test"]; !ok || d.Durable {
+		t.Fatalf("healthz durability %+v, want a non-durable entry for %q", health.Networks, "test")
+	}
+	if stats.Store.Durable || stats.Store.WALAppends != 0 {
+		t.Fatalf("in-memory server store stats %+v", stats.Store)
 	}
 
 	// Method mismatches are rejected by the mux.

@@ -167,12 +167,56 @@ type EndpointStats struct {
 	AvgLatencyMs float64 `json:"avg_latency_ms"`
 }
 
+// StoreStats are the store-wide durability counters of GET /stats.
+type StoreStats struct {
+	// Durable reports whether the server runs on a durable store
+	// (flownetd -data-dir).
+	Durable bool `json:"durable"`
+	// WALAppends / WALFsyncs count write-ahead-log records written and
+	// fsync calls issued since startup.
+	WALAppends uint64 `json:"wal_appends"`
+	WALFsyncs  uint64 `json:"wal_fsyncs"`
+	// Snapshots counts checkpoints taken; Recoveries counts networks
+	// restored from the data directory at startup.
+	Snapshots  uint64 `json:"snapshots"`
+	Recoveries uint64 `json:"recoveries"`
+}
+
 // StatsResult is the response of GET /stats.
 type StatsResult struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Networks      map[string]NetworkInfo   `json:"networks"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 	Cache         cache.Stats              `json:"cache"`
+	Store         StoreStats               `json:"store"`
+}
+
+// DurabilityInfo is one network's durability state in GET /healthz.
+type DurabilityInfo struct {
+	// Durable reports whether the network has a write-ahead log at all.
+	Durable bool `json:"durable"`
+	// WALRecordsPending / WALBytesPending measure the current WAL — the
+	// replay work a crash right now would cost (the checkpoint lag).
+	WALRecordsPending int   `json:"wal_records_pending"`
+	WALBytesPending   int64 `json:"wal_bytes_pending"`
+	// BaseGeneration is the generation of the snapshot (or empty base)
+	// the current WAL builds on.
+	BaseGeneration uint64 `json:"base_generation,omitempty"`
+	// LastSnapshotUnixMs is the time of the newest snapshot in Unix
+	// milliseconds, 0 when the network has never been checkpointed.
+	LastSnapshotUnixMs int64 `json:"last_snapshot_unix_ms,omitempty"`
+	// CheckpointError surfaces a failing background checkpoint.
+	CheckpointError string `json:"checkpoint_error,omitempty"`
+	// WALError surfaces a WAL write failure that made the network
+	// read-only (a successful snapshot repairs it).
+	WALError string `json:"wal_error,omitempty"`
+}
+
+// HealthzResult is the response of GET /healthz.
+type HealthzResult struct {
+	Ok bool `json:"ok"`
+	// Networks maps each network to its durability state.
+	Networks map[string]DurabilityInfo `json:"networks,omitempty"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// Advisory data-directory locking is a no-op on platforms without flock;
+// the durability guarantees themselves do not depend on it.
+func (s *Store) lockDir(dir string) error { return nil }
+
+func (s *Store) unlockDir() {}

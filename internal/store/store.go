@@ -1,0 +1,985 @@
+// Package store is the durable network catalog behind flownetd: it owns
+// every live network (registration, lookup, generation-tracked mutation)
+// and — when configured with a data directory — makes each one crash-safe
+// with a per-network write-ahead log and binary snapshots.
+//
+// Layering: internal/stream makes one network live-updatable in memory;
+// this package owns the *set* of networks and their persistence, and
+// internal/server is reduced to HTTP handling on top. Each network is a
+// Shard with its own mutation lock and its own WAL, so ingest on one
+// network never contends with ingest on another.
+//
+// Durability contract. Every accepted mutation — Append (including parked
+// out-of-order items), Reindex, vertex growth, CreateNetwork — is applied
+// to the in-memory network and then recorded to the shard's WAL before the
+// call returns; with Config.SyncEveryBatch the record is also fsynced. A
+// crash therefore loses at most mutations that were never acknowledged,
+// and loses them whole: recovery (Open) rebuilds each shard from its
+// newest snapshot + WAL-prefix replay, stopping at the first torn record,
+// which reproduces the exact acknowledged state — contents, pending
+// buffer, and generation.
+//
+// Checkpoints. When a shard's WAL accumulates Config.SnapshotEvery
+// records, a background goroutine writes the network to a binary snapshot
+// (internal/tin's codec) and starts a fresh WAL based on it. The
+// snapshot/WAL pair is committed by two renames ordered so that every
+// crash point recovers: the snapshot is renamed into place first, and the
+// new WAL — whose header points at the snapshot — second; recovery prefers
+// the newest WAL whose base it can load and falls back to the previous
+// pair otherwise.
+//
+// On-disk layout, one subdirectory per network (name URL-path-escaped):
+//
+//	<dir>/<name>/snapshot-g<gen>.tinb   binary snapshot at generation <gen>
+//	<dir>/<name>/wal-g<gen>.log         mutations applied after that base
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flownet/internal/stream"
+	"flownet/internal/tin"
+)
+
+// ErrDuplicate reports a Create/Add under a name that is already
+// registered.
+var ErrDuplicate = errors.New("store: network already exists")
+
+// ErrDurability wraps WAL failures on the write path: the mutation was
+// applied in memory but could not be made durable.
+var ErrDurability = errors.New("store: durability failure")
+
+// DefaultSnapshotEvery is the checkpoint threshold (WAL records per
+// network) used when Config.SnapshotEvery is 0.
+const DefaultSnapshotEvery = 256
+
+// Config configures a Store.
+type Config struct {
+	// Dir is the data directory. Empty disables durability: the store is a
+	// purely in-memory catalog (no WAL, no snapshots, nothing to recover).
+	Dir string
+	// SyncEveryBatch fsyncs the WAL after every record. Off, records are
+	// still written (and thus survive a process kill) but the operating
+	// system decides when they reach the disk; fsync happens at checkpoints
+	// and on Close.
+	SyncEveryBatch bool
+	// SnapshotEvery is the number of WAL records that triggers a background
+	// checkpoint of a shard. 0 selects DefaultSnapshotEvery; negative
+	// disables automatic checkpoints (Shard.Snapshot still works).
+	SnapshotEvery int
+}
+
+// Stats are the store-wide durability counters, surfaced at /stats.
+type Stats struct {
+	Networks   int
+	Durable    bool
+	WALAppends uint64
+	WALFsyncs  uint64
+	Snapshots  uint64
+	Recoveries uint64
+}
+
+// Durability describes one shard's durability state, surfaced at /healthz
+// so operators can see checkpoint lag.
+type Durability struct {
+	// Durable reports whether the shard has a WAL at all.
+	Durable bool
+	// WALRecordsPending / WALBytesPending measure the current WAL — the
+	// replay work a crash right now would cost, i.e. the checkpoint lag.
+	WALRecordsPending int
+	WALBytesPending   int64
+	// BaseGeneration is the generation of the snapshot (or empty base) the
+	// current WAL builds on.
+	BaseGeneration uint64
+	// LastSnapshot is the time of the newest snapshot, zero when the shard
+	// has never been checkpointed.
+	LastSnapshot time.Time
+	// CheckpointError is the most recent background checkpoint failure,
+	// empty when the last checkpoint succeeded.
+	CheckpointError string
+	// WALError is the WAL write failure that made the shard read-only
+	// (memory is ahead of disk; a successful snapshot repairs it). Empty
+	// on a healthy shard.
+	WALError string
+}
+
+// Store is a concurrency-safe catalog of live networks with optional
+// durability. Create one with Open; all methods are safe for concurrent
+// use.
+type Store struct {
+	cfg           Config
+	snapshotEvery int
+
+	mu     sync.RWMutex
+	shards map[string]*Shard
+	// reserved holds names whose Create/Add is doing disk work outside
+	// s.mu: the name is taken (duplicate checks see it) but not yet
+	// queryable, so a slow initial snapshot never blocks readers.
+	reserved map[string]bool
+
+	subMu sync.RWMutex
+	subs  []func(name string, gen uint64)
+
+	walAppends atomic.Uint64
+	walFsyncs  atomic.Uint64
+	snapshots  atomic.Uint64
+	recoveries atomic.Uint64
+
+	ckCh      chan *Shard
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	// lockFile holds the advisory lock on the data directory (see
+	// lockDir); nil on in-memory stores and non-unix platforms.
+	lockFile *os.File
+}
+
+// Open creates a store. With cfg.Dir set it recovers every network found
+// there — snapshot load plus WAL replay — before returning, and starts the
+// background checkpointer. Open with an empty Dir cannot fail.
+func Open(cfg Config) (*Store, error) {
+	s := &Store{
+		cfg:           cfg,
+		snapshotEvery: cfg.SnapshotEvery,
+		shards:        make(map[string]*Shard),
+		reserved:      make(map[string]bool),
+	}
+	if s.snapshotEvery == 0 {
+		s.snapshotEvery = DefaultSnapshotEvery
+	}
+	if cfg.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o777); err != nil {
+		return nil, err
+	}
+	if err := s.lockDir(cfg.Dir); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		s.unlockDir()
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil {
+			s.abortOpen()
+			return nil, fmt.Errorf("store: undecodable network directory %q", e.Name())
+		}
+		sh, err := s.recoverShard(filepath.Join(cfg.Dir, e.Name()), name)
+		if errors.Is(err, errNoWAL) {
+			// A directory without any WAL is a Create/Add that died before
+			// its commit point (the WAL rename): the creation was never
+			// acknowledged, so removing the leftovers — not failing the
+			// whole catalog — is the correct recovery. Directories that do
+			// not look like ours are left untouched (a mistyped -data-dir
+			// must never eat user data) and simply not registered.
+			cleanupGhostDir(filepath.Join(cfg.Dir, e.Name()))
+			continue
+		}
+		if err != nil {
+			s.abortOpen()
+			return nil, fmt.Errorf("store: recovering network %q: %w", name, err)
+		}
+		s.finishRegister(sh)
+		s.recoveries.Add(1)
+	}
+	s.ckCh = make(chan *Shard, 64)
+	s.stop = make(chan struct{})
+	s.wg.Add(1)
+	go s.checkpointer()
+	return s, nil
+}
+
+// abortOpen releases everything a partially completed Open acquired: the
+// WAL descriptors of already-recovered shards and the directory lock.
+func (s *Store) abortOpen() {
+	for _, sh := range s.shards {
+		if sh.wal != nil {
+			sh.wal.close()
+			sh.wal = nil
+		}
+	}
+	s.unlockDir()
+}
+
+// Subscribe registers fn to be called after every change that bumps a
+// network's generation (append, reindex, grow) with the network's name and
+// new generation. Callbacks run on the mutating goroutine with the
+// network's write lock held: they must be fast and must not query the
+// store. Recovery replay does not notify (it happens before Subscribe can
+// be called on the returned store). Subscriptions last for the store's
+// lifetime — there is no unsubscribe — so a subscriber must live as long
+// as the store (one Server per Store, as cmd/flownetd does).
+func (s *Store) Subscribe(fn func(name string, gen uint64)) {
+	if fn == nil {
+		return
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	s.subs = append(s.subs, fn)
+}
+
+func (s *Store) notify(name string, gen uint64) {
+	s.subMu.RLock()
+	defer s.subMu.RUnlock()
+	for _, fn := range s.subs {
+		fn(name, gen)
+	}
+}
+
+// durable reports whether the store persists anything.
+func (s *Store) durable() bool { return s.cfg.Dir != "" }
+
+func validateName(name string) error {
+	// "." and ".." survive url.PathEscape unchanged and would make the
+	// shard directory the data dir itself or its parent — acknowledged
+	// writes would land outside the directory recovery scans.
+	if name == "" || name == "." || name == ".." || strings.ContainsAny(name, "|\n") {
+		return fmt.Errorf("store: invalid network name %q", name)
+	}
+	return nil
+}
+
+func (s *Store) shardDir(name string) string {
+	return filepath.Join(s.cfg.Dir, url.PathEscape(name))
+}
+
+// reserve takes a name for an in-flight registration, failing on a live
+// or already-reserved duplicate. The caller must end with either register
+// (success) or unreserve (failure).
+func (s *Store) reserve(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.shards[name]; dup || s.reserved[name] {
+		return fmt.Errorf("store: network %q: %w", name, ErrDuplicate)
+	}
+	s.reserved[name] = true
+	return nil
+}
+
+func (s *Store) unreserve(name string) {
+	s.mu.Lock()
+	delete(s.reserved, name)
+	s.mu.Unlock()
+}
+
+// register publishes a reserved shard.
+func (s *Store) register(sh *Shard) {
+	sh.publishWALStats()
+	s.mu.Lock()
+	delete(s.reserved, sh.name)
+	s.finishRegister(sh)
+	s.mu.Unlock()
+}
+
+// Create registers a new, empty, ingest-ready network with the given
+// vertex count. Durable stores persist the creation immediately: the new
+// shard's WAL records the vertex count, so the network exists again after
+// a restart even if nothing is ever ingested. The disk work happens with
+// only the name reserved — concurrent queries on other networks are never
+// blocked by it.
+func (s *Store) Create(name string, vertices int) (*Shard, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	// The same bounds recovery enforces: a shard the store can create must
+	// be a shard the store can reopen.
+	if vertices < 0 || vertices > maxCreateVertices {
+		return nil, fmt.Errorf("store: vertex count %d outside [0,%d]", vertices, maxCreateVertices)
+	}
+	if err := s.reserve(name); err != nil {
+		return nil, err
+	}
+	sh := &Shard{store: s, name: name, live: stream.NewEmpty(vertices)}
+	if s.durable() {
+		if err := sh.makeDir(); err != nil {
+			s.unreserve(name)
+			return nil, err
+		}
+		w, err := createWAL(sh.walPath(1), walHeader{baseGen: 1, numV: uint64(vertices)}, nil)
+		if err != nil {
+			cleanupGhostDir(sh.dir)
+			s.unreserve(name)
+			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		sh.wal = w
+		sh.baseGen = 1
+	}
+	s.register(sh)
+	return sh, nil
+}
+
+// makeDir creates the shard's directory, refusing to adopt one that
+// already exists: on a case-insensitive filesystem two names differing
+// only in case fold to the same directory, and sharing it would let the
+// second shard's WAL rename over the first's — silent loss of
+// acknowledged batches. (Recovered shards hold their directories via the
+// catalog, so an existing directory here is either a case collision or
+// foreign data; both must fail.)
+func (sh *Shard) makeDir() error {
+	sh.dir = sh.store.shardDir(sh.name)
+	if err := os.Mkdir(sh.dir, 0o777); err != nil {
+		if os.IsExist(err) {
+			return fmt.Errorf("store: network %q: directory %s already exists (case-insensitive name collision?): %w",
+				sh.name, sh.dir, ErrDuplicate)
+		}
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	return nil
+}
+
+// Add registers an externally built, finalized network — the -net load
+// path. Durable stores write the network's initial binary snapshot right
+// away, so recovery is self-contained: a restart restores the network
+// (plus everything ingested since) from the data directory alone, without
+// the original file. Like Create, the snapshot write happens with only
+// the name reserved, so a large initial snapshot never stalls queries.
+func (s *Store) Add(name string, n *tin.Network) (*Shard, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	// ReadNetworkBinary rejects empty and oversized snapshots, so Add must
+	// too, or the initial snapshot would be unrecoverable.
+	if n != nil && (n.NumVertices() == 0 || n.NumVertices() > maxCreateVertices) {
+		return nil, fmt.Errorf("store: network %q: vertex count %d outside [1,%d]", name, n.NumVertices(), maxCreateVertices)
+	}
+	live, err := stream.Wrap(n)
+	if err != nil {
+		return nil, fmt.Errorf("store: network %q: %w", name, err)
+	}
+	if err := s.reserve(name); err != nil {
+		return nil, err
+	}
+	sh := &Shard{store: s, name: name, live: live}
+	if s.durable() {
+		if err := sh.makeDir(); err != nil {
+			s.unreserve(name)
+			return nil, err
+		}
+		fail := func(err error) (*Shard, error) {
+			cleanupGhostDir(sh.dir)
+			s.unreserve(name)
+			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
+		}
+		if err := tin.SaveNetworkBinary(sh.snapshotPath(1), n); err != nil {
+			return fail(err)
+		}
+		w, err := createWAL(sh.walPath(1), walHeader{baseGen: 1, numV: uint64(n.NumVertices()), hasBase: true}, nil)
+		if err != nil {
+			return fail(err)
+		}
+		sh.wal = w
+		sh.baseGen = 1
+		sh.lastSnapshot.Store(time.Now().UnixNano())
+	}
+	s.register(sh)
+	return sh, nil
+}
+
+// finishRegister wires the change notification and publishes the shard.
+// Callers hold s.mu and have verified the name is free.
+func (s *Store) finishRegister(sh *Shard) {
+	name := sh.name
+	sh.live.SetOnChange(func(gen uint64) { s.notify(name, gen) })
+	s.shards[name] = sh
+}
+
+// Get returns the shard registered under name.
+func (s *Store) Get(name string) (*Shard, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sh, ok := s.shards[name]
+	return sh, ok
+}
+
+// Resolve resolves a request's network name: empty selects the sole
+// registered network, anything else must match exactly.
+func (s *Store) Resolve(name string) (*Shard, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.shards) == 1 {
+			for _, sh := range s.shards {
+				return sh, nil
+			}
+		}
+		return nil, fmt.Errorf("%d networks loaded; pass net=<name>", len(s.shards))
+	}
+	sh, ok := s.shards[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown network %q", name)
+	}
+	return sh, nil
+}
+
+// Shards returns the registered shards, sorted by name.
+func (s *Store) Shards() []*Shard {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	shs := make([]*Shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		shs = append(shs, sh)
+	}
+	sort.Slice(shs, func(a, b int) bool { return shs[a].name < shs[b].name })
+	return shs
+}
+
+// Len returns the number of registered networks.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.shards)
+}
+
+// Stats returns the store-wide durability counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Networks:   s.Len(),
+		Durable:    s.durable(),
+		WALAppends: s.walAppends.Load(),
+		WALFsyncs:  s.walFsyncs.Load(),
+		Snapshots:  s.snapshots.Load(),
+		Recoveries: s.recoveries.Load(),
+	}
+}
+
+// SnapshotAll checkpoints every durable shard that has WAL records
+// pending, returning the first error. Non-durable shards are skipped, so
+// it is a safe flush-everything hook on any store.
+func (s *Store) SnapshotAll() error {
+	var first error
+	for _, sh := range s.Shards() {
+		if !sh.Durability().Durable {
+			continue
+		}
+		if err := sh.Snapshot(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close stops the background checkpointer and fsyncs and closes every WAL.
+// The store must not be used afterwards. Close is idempotent.
+func (s *Store) Close() error {
+	var first error
+	s.closeOnce.Do(func() {
+		if s.stop != nil {
+			close(s.stop)
+			s.wg.Wait()
+		}
+		for _, sh := range s.Shards() {
+			sh.mu.Lock()
+			if sh.wal != nil {
+				if err := sh.wal.close(); err != nil && first == nil {
+					first = err
+				}
+				sh.wal = nil
+				sh.publishWALStats()
+			}
+			sh.mu.Unlock()
+		}
+		s.unlockDir()
+	})
+	return first
+}
+
+// checkpointer drains checkpoint requests queued by maybeCheckpoint.
+func (s *Store) checkpointer() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case sh := <-s.ckCh:
+			sh.ckQueued.Store(false)
+			err := sh.Snapshot()
+			sh.setCheckpointErr(err)
+		}
+	}
+}
+
+// ---- Shard -------------------------------------------------------------
+
+// Shard is one live network owned by the store: the stream wrapper that
+// serves queries plus the WAL that makes mutations durable. Mutations on
+// different shards proceed in parallel; mutations on one shard are
+// serialized by its lock.
+type Shard struct {
+	store *Store
+	name  string
+	dir   string // "" when the store is not durable
+	// live is assigned once at construction/recovery and never replaced;
+	// it is the only query surface, and the methods below are the only
+	// mutation path (going around them would skip the WAL).
+	live *stream.Network
+
+	// mu serializes this shard's mutation path (apply + WAL append) and
+	// its checkpoints. Queries go through live's read lock and are never
+	// blocked by mu — except during the snapshot write, which holds live's
+	// read lock only.
+	mu      sync.Mutex
+	wal     *walFile
+	baseGen uint64
+
+	// statsMu guards the durability stats mirrored from the WAL (and the
+	// write-path poison). Durability reads them under statsMu alone, so a
+	// health probe is never queued behind a long checkpoint holding mu.
+	// statsMu nests strictly inside mu and is never held across IO.
+	statsMu   sync.Mutex
+	stDurable bool
+	stRecords int
+	stBytes   int64
+	stBaseGen uint64
+	walErr    error // first WAL append failure; poisons the write path
+
+	lastSnapshot atomic.Int64 // unix nanos; 0 = never
+
+	ckQueued atomic.Bool
+	ckErrMu  sync.Mutex
+	ckErr    error
+}
+
+// publishWALStats mirrors the WAL counters into the statsMu-guarded copy.
+// Callers hold sh.mu (or own the shard exclusively, before registration).
+func (sh *Shard) publishWALStats() {
+	sh.statsMu.Lock()
+	sh.stDurable = sh.wal != nil
+	if sh.wal != nil {
+		sh.stRecords = sh.wal.records
+		sh.stBytes = sh.wal.size - walHeaderSize
+	} else {
+		sh.stRecords, sh.stBytes = 0, 0
+	}
+	sh.stBaseGen = sh.baseGen
+	sh.statsMu.Unlock()
+}
+
+func (sh *Shard) setWALErr(err error) {
+	sh.statsMu.Lock()
+	sh.walErr = err
+	sh.statsMu.Unlock()
+}
+
+func (sh *Shard) getWALErr() error {
+	sh.statsMu.Lock()
+	defer sh.statsMu.Unlock()
+	return sh.walErr
+}
+
+// Name returns the shard's registered network name.
+func (sh *Shard) Name() string { return sh.name }
+
+// Acquire read-locks the live network; see stream.Network.Acquire.
+func (sh *Shard) Acquire() (*tin.Network, uint64, func()) { return sh.live.Acquire() }
+
+// View runs fn with the live network read-locked; fn must only read.
+func (sh *Shard) View(fn func(n *tin.Network, gen uint64)) { sh.live.View(fn) }
+
+// Generation returns the live network's generation.
+func (sh *Shard) Generation() uint64 { return sh.live.Generation() }
+
+// Pending returns the parked out-of-order interaction count.
+func (sh *Shard) Pending() int { return sh.live.Pending() }
+
+// NetStats returns the live network's summary statistics.
+func (sh *Shard) NetStats() tin.Stats { return sh.live.Stats() }
+
+// Append applies a batch to the live network and records it to the WAL.
+// Validation failures leave both untouched; a WAL failure after a
+// successful apply is reported as ErrDurability (the memory state has the
+// batch, the disk does not) and poisons the shard: further writes are
+// rejected until a successful Snapshot re-synchronizes disk with memory,
+// so no later batch can be validated against a state the WAL never saw.
+func (sh *Shard) Append(items []stream.Item, opts stream.Options) (stream.Result, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.writable(); err != nil {
+		return stream.Result{}, err
+	}
+	genBefore := sh.live.Generation()
+	res, err := sh.live.Append(items, opts)
+	if err != nil {
+		if sh.wal != nil && res.Generation != genBefore {
+			// The batch failed validation *after* Grow already extended
+			// the vertex space, which is query-observable and stays: log
+			// the grow on its own so recovery reproduces it. The original
+			// validation error rides along — the client needs it to
+			// construct a corrected retry.
+			if werr := sh.log(encodeGrow(sh.live.NumVertices())); werr != nil {
+				return res, errors.Join(fmt.Errorf("%w: recording vertex growth: %v", ErrDurability, werr), err)
+			}
+		}
+		return res, err
+	}
+	if sh.wal != nil && (res.Appended > 0 || res.Deferred > 0 || res.Generation != genBefore) {
+		if werr := sh.log(encodeAppend(items, opts)); werr != nil {
+			return res, fmt.Errorf("%w: batch applied in memory but not logged: %v", ErrDurability, werr)
+		}
+	}
+	sh.maybeCheckpoint()
+	return res, nil
+}
+
+// Reindex merges the pending buffer into the live network and records the
+// merge to the WAL.
+func (sh *Shard) Reindex() (stream.Result, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.writable(); err != nil {
+		return stream.Result{}, err
+	}
+	genBefore := sh.live.Generation()
+	res, err := sh.live.Reindex()
+	if err != nil {
+		return res, err
+	}
+	if sh.wal != nil && res.Generation != genBefore {
+		if werr := sh.log(encodeReindex()); werr != nil {
+			return res, fmt.Errorf("%w: reindex applied in memory but not logged: %v", ErrDurability, werr)
+		}
+	}
+	sh.maybeCheckpoint()
+	return res, nil
+}
+
+// writable rejects mutations on a poisoned durable shard. Callers hold
+// sh.mu. The in-memory network is ahead of the WAL after an append
+// failure; accepting more batches would validate them against a state
+// that recovery cannot reproduce. Each rejected attempt queues a repair
+// checkpoint (Snapshot rewrites disk from memory and lifts the poison), so
+// a shard poisoned by a transient failure — a momentarily full disk —
+// heals on the next write traffic instead of staying read-only until a
+// restart.
+func (sh *Shard) writable() error {
+	if sh.wal == nil {
+		return nil
+	}
+	if err := sh.getWALErr(); err != nil {
+		sh.queueCheckpoint()
+		return fmt.Errorf("%w: shard is read-only after a WAL write failure (repair snapshot queued): %v", ErrDurability, err)
+	}
+	return nil
+}
+
+// log appends one record to the WAL under sh.mu, honouring the fsync
+// policy and the store counters. A failure poisons the shard (see
+// writable).
+func (sh *Shard) log(payload []byte) error {
+	sync := sh.store.cfg.SyncEveryBatch
+	if err := sh.wal.append(payload, sync); err != nil {
+		sh.setWALErr(err)
+		return err
+	}
+	sh.store.walAppends.Add(1)
+	if sync {
+		sh.store.walFsyncs.Add(1)
+	}
+	sh.publishWALStats()
+	return nil
+}
+
+func (sh *Shard) maybeCheckpoint() {
+	if sh.wal == nil || sh.store.snapshotEvery <= 0 || sh.wal.records < sh.store.snapshotEvery {
+		return
+	}
+	sh.queueCheckpoint()
+}
+
+// queueCheckpoint hands the shard to the background checkpointer, at most
+// once until that run completes. Durable stores always run a checkpointer
+// (even with automatic cadence disabled), so repair snapshots can be
+// queued from any durable shard.
+func (sh *Shard) queueCheckpoint() {
+	if !sh.ckQueued.CompareAndSwap(false, true) {
+		return
+	}
+	select {
+	case sh.store.ckCh <- sh:
+	default:
+		sh.ckQueued.Store(false) // queue full; the next append retries
+	}
+}
+
+func (sh *Shard) walPath(gen uint64) string {
+	return filepath.Join(sh.dir, fmt.Sprintf("wal-g%d.log", gen))
+}
+
+func (sh *Shard) snapshotPath(gen uint64) string {
+	return filepath.Join(sh.dir, fmt.Sprintf("snapshot-g%d.tinb", gen))
+}
+
+// Snapshot checkpoints the shard now: it writes the live network to a new
+// binary snapshot, starts a fresh WAL based on it (carrying the pending
+// out-of-order buffer forward), and deletes the previous snapshot/WAL
+// pair. Appends to this shard block for the duration; queries only block
+// while the snapshot file is written (the live read lock). A no-op when
+// the current WAL has no records. A successful Snapshot also repairs a
+// poisoned shard (see Append): the new snapshot/WAL pair is derived from
+// the in-memory state, so disk and memory agree again and writes resume.
+func (sh *Shard) Snapshot() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.wal == nil {
+		return errors.New("store: network is not durable")
+	}
+	if sh.wal.records == 0 && sh.getWALErr() == nil {
+		return nil
+	}
+	var gen uint64
+	var saveErr error
+	sh.live.View(func(n *tin.Network, g uint64) {
+		gen = g
+		saveErr = tin.SaveNetworkBinary(sh.snapshotPath(gen), n)
+	})
+	if saveErr != nil {
+		return saveErr
+	}
+	// The pending buffer is not part of the tin snapshot; it rides in the
+	// new WAL as its first record, which replays into the same parked
+	// state (all pending items precede the snapshot's MaxTime, so a
+	// deferred append parks every one of them again without a bump).
+	var firstRecord []byte
+	if pending := sh.live.PendingItems(); len(pending) > 0 {
+		firstRecord = encodeAppend(pending, stream.Options{OnOutOfOrder: stream.PolicyDefer})
+	}
+	w, err := createWAL(sh.walPath(gen), walHeader{
+		baseGen: gen,
+		numV:    uint64(sh.live.NumVertices()),
+		hasBase: true,
+	}, firstRecord)
+	if err != nil {
+		return err
+	}
+	oldGen, oldWal := sh.baseGen, sh.wal
+	sh.wal, sh.baseGen = w, gen
+	sh.setWALErr(nil) // disk now mirrors memory exactly
+	sh.publishWALStats()
+	oldWal.close()
+	if oldGen != gen {
+		// Best-effort cleanup; recovery removes leftovers too.
+		os.Remove(sh.snapshotPath(oldGen))
+		os.Remove(sh.walPath(oldGen))
+	}
+	sh.lastSnapshot.Store(time.Now().UnixNano())
+	sh.store.snapshots.Add(1)
+	return nil
+}
+
+// Durability reports the shard's current durability state. It reads the
+// mirrored stats only — never sh.mu — so it stays responsive while a
+// checkpoint or a syncing append holds the shard lock.
+func (sh *Shard) Durability() Durability {
+	sh.statsMu.Lock()
+	d := Durability{
+		Durable:           sh.stDurable,
+		WALRecordsPending: sh.stRecords,
+		WALBytesPending:   sh.stBytes,
+		BaseGeneration:    sh.stBaseGen,
+	}
+	if sh.walErr != nil {
+		d.WALError = sh.walErr.Error()
+	}
+	sh.statsMu.Unlock()
+	if ns := sh.lastSnapshot.Load(); ns != 0 {
+		d.LastSnapshot = time.Unix(0, ns)
+	}
+	sh.ckErrMu.Lock()
+	if sh.ckErr != nil {
+		d.CheckpointError = sh.ckErr.Error()
+	}
+	sh.ckErrMu.Unlock()
+	return d
+}
+
+func (sh *Shard) setCheckpointErr(err error) {
+	sh.ckErrMu.Lock()
+	sh.ckErr = err
+	sh.ckErrMu.Unlock()
+}
+
+// ---- recovery ----------------------------------------------------------
+
+// errNoWAL marks a network directory with no WAL at all: a durable
+// Create/Add that crashed before its commit point (the WAL rename). Open
+// cleans such directories up instead of failing the catalog.
+var errNoWAL = errors.New("no WAL found")
+
+// cleanupGhostDir removes a WAL-less shard directory, but only when it is
+// provably ours: every entry must match the store's on-disk layout and at
+// least one must be a wal-g*/snapshot-g* file. An empty directory is
+// removed with os.Remove, which cannot take anything with it. Anything
+// else is left untouched — pointing -data-dir at a directory with
+// unrelated content must never delete it.
+func cleanupGhostDir(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	if len(entries) == 0 {
+		os.Remove(dir)
+		return
+	}
+	storeFiles := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			return
+		}
+		n := e.Name()
+		switch {
+		case strings.HasPrefix(n, "wal-g") || strings.HasPrefix(n, "snapshot-g"):
+			storeFiles++
+		case strings.HasPrefix(n, ".") && strings.Contains(n, ".tmp-"):
+			// atomicSave temp litter.
+		default:
+			return
+		}
+	}
+	if storeFiles > 0 {
+		os.RemoveAll(dir)
+	}
+}
+
+// recoverShard rebuilds one network from its directory: newest usable WAL,
+// its base (snapshot or empty network), then record replay with torn-tail
+// truncation. Leftover files from interrupted checkpoints are removed.
+func (s *Store) recoverShard(dir, name string) (*Shard, error) {
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var walGens []uint64
+	for _, e := range entries {
+		var g uint64
+		if n, _ := fmt.Sscanf(e.Name(), "wal-g%d.log", &g); n == 1 && e.Name() == fmt.Sprintf("wal-g%d.log", g) {
+			walGens = append(walGens, g)
+		}
+	}
+	if len(walGens) == 0 {
+		return nil, errNoWAL
+	}
+	sort.Slice(walGens, func(a, b int) bool { return walGens[a] > walGens[b] })
+
+	sh := &Shard{store: s, name: name, dir: dir}
+	var lastErr error
+	for _, g := range walGens {
+		hdr, recs, goodOff, err := readWAL(sh.walPath(g))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var base *tin.Network
+		if hdr.hasBase {
+			base, err = tin.LoadNetwork(sh.snapshotPath(g))
+			if err != nil {
+				// Snapshot missing or unreadable: this pair is a torn
+				// checkpoint; fall back to the previous one.
+				lastErr = err
+				continue
+			}
+		} else {
+			if hdr.numV > maxCreateVertices {
+				lastErr = fmt.Errorf("WAL base vertex count %d exceeds limit", hdr.numV)
+				continue
+			}
+			base = tin.NewNetwork(int(hdr.numV))
+			base.Finalize()
+		}
+		live, err := stream.WrapAt(base, hdr.baseGen)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		applied := 0
+		for _, rec := range recs {
+			if err := applyRecord(live, rec); err != nil {
+				// Records are written only after a successful apply, so a
+				// replay failure means the tail is inconsistent — cut it
+				// off like a torn frame.
+				goodOff = rec.start
+				break
+			}
+			applied++
+		}
+		f, err := os.OpenFile(sh.walPath(g), os.O_RDWR, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Truncate(goodOff); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, err
+		}
+		sh.live = live
+		sh.wal = &walFile{f: f, size: goodOff, records: applied}
+		sh.baseGen = hdr.baseGen
+		sh.publishWALStats()
+		if hdr.hasBase {
+			if fi, err := os.Stat(sh.snapshotPath(g)); err == nil {
+				sh.lastSnapshot.Store(fi.ModTime().UnixNano())
+			}
+		}
+		// Remove every other generation's files and checkpoint leftovers.
+		for _, e := range entries {
+			n := e.Name()
+			if n == fmt.Sprintf("wal-g%d.log", g) || n == fmt.Sprintf("snapshot-g%d.tinb", g) {
+				continue
+			}
+			if strings.HasPrefix(n, "wal-g") || strings.HasPrefix(n, "snapshot-g") ||
+				strings.Contains(n, ".tmp") {
+				os.Remove(filepath.Join(dir, n))
+			}
+		}
+		return sh, nil
+	}
+	return nil, fmt.Errorf("no usable WAL: %w", lastErr)
+}
+
+// maxCreateVertices is the shared vertex ceiling (tin.MaxVertices): a
+// recovered WAL header cannot demand a larger allocation than a live
+// create could, and everything Create/Add accept is recoverable.
+const maxCreateVertices = tin.MaxVertices
+
+// applyRecord replays one WAL record onto a recovering network.
+func applyRecord(live *stream.Network, rec walRec) error {
+	switch rec.op {
+	case opAppend:
+		_, err := live.Append(rec.items, rec.opts)
+		return err
+	case opReindex:
+		_, err := live.Reindex()
+		return err
+	case opGrow:
+		if rec.numV > maxCreateVertices {
+			// No writer this code produces can log such a record (the
+			// stream layer refuses the growth), so it is corruption.
+			return fmt.Errorf("store: grow record to %d vertices exceeds limit %d", rec.numV, maxCreateVertices)
+		}
+		live.Grow(rec.numV)
+		return nil
+	default:
+		return fmt.Errorf("store: unknown WAL op %d", rec.op)
+	}
+}

@@ -1,0 +1,837 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"flownet/internal/stream"
+	"flownet/internal/tin"
+)
+
+func openTestStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func items(its ...stream.Item) []stream.Item { return its }
+
+// netState captures everything the durability contract promises to
+// preserve across a restart.
+type netState struct {
+	stats   tin.Stats
+	gen     uint64
+	pending int
+	maxTime float64
+}
+
+func stateOf(sh *Shard) netState {
+	st := netState{stats: sh.NetStats(), gen: sh.Generation(), pending: sh.Pending()}
+	sh.View(func(n *tin.Network, _ uint64) { st.maxTime = n.MaxTime() })
+	return st
+}
+
+func requireSameState(t *testing.T, what string, a, b netState) {
+	t.Helper()
+	if a != b {
+		t.Fatalf("%s: state diverged:\n  before %+v\n  after  %+v", what, a, b)
+	}
+}
+
+func TestMemoryOnlyCatalog(t *testing.T) {
+	s := openTestStore(t, Config{})
+	if _, err := s.Create("live", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("live", 3); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate Create: err = %v, want ErrDuplicate", err)
+	}
+	// "." and ".." would resolve the shard directory to the data dir or
+	// its parent and must never be accepted, durable or not.
+	for _, bad := range []string{"", "a|b", "a\nb", ".", ".."} {
+		if _, err := s.Create(bad, 1); err == nil {
+			t.Errorf("Create(%q) accepted an invalid name", bad)
+		}
+	}
+	sh, err := s.Resolve("")
+	if err != nil || sh.Name() != "live" {
+		t.Fatalf("Resolve sole network: %v, %v", sh, err)
+	}
+	if _, err := s.Resolve("nope"); err == nil {
+		t.Fatal("Resolve of unknown name succeeded")
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 1, Qty: 5}), stream.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := sh.Durability(); d.Durable {
+		t.Fatalf("memory-only shard reports durable: %+v", d)
+	}
+	if err := sh.Snapshot(); err == nil {
+		t.Fatal("Snapshot on a non-durable shard succeeded")
+	}
+	if err := s.SnapshotAll(); err != nil {
+		t.Fatalf("SnapshotAll on an in-memory catalog: %v (must skip non-durable shards)", err)
+	}
+	st := s.Stats()
+	if st.Durable || st.WALAppends != 0 || st.Networks != 1 {
+		t.Fatalf("memory-only stats %+v", st)
+	}
+}
+
+// TestCreateAppendRecover is the core durability round trip: create,
+// ingest (in-order, deferred, grow, reindex), reopen, compare exact state.
+func TestCreateAppendRecover(t *testing.T) {
+	for _, sync := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sync=%v", sync), func(t *testing.T) {
+			dir := t.TempDir()
+			s := openTestStore(t, Config{Dir: dir, SyncEveryBatch: sync})
+			sh, err := s.Create("live", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustAppend := func(its []stream.Item, opts stream.Options) {
+				t.Helper()
+				if _, err := sh.Append(its, opts); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mustAppend(items(
+				stream.Item{From: 0, To: 1, Time: 1, Qty: 5},
+				stream.Item{From: 1, To: 2, Time: 2, Qty: 5},
+			), stream.Options{})
+			// Deferred out-of-order item (parks; pending must survive).
+			mustAppend(items(stream.Item{From: 0, To: 1, Time: 1.5, Qty: 3}), stream.Options{OnOutOfOrder: stream.PolicyDefer})
+			// Growth through an append.
+			mustAppend(items(stream.Item{From: 2, To: 5, Time: 3, Qty: 1}), stream.Options{Grow: true})
+			// Reindex merges the parked item.
+			if _, err := sh.Reindex(); err != nil {
+				t.Fatal(err)
+			}
+			// One more plain append on top.
+			mustAppend(items(stream.Item{From: 1, To: 2, Time: 4, Qty: 2}), stream.Options{})
+			before := stateOf(sh)
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := openTestStore(t, Config{Dir: dir})
+			sh2, ok := s2.Get("live")
+			if !ok {
+				t.Fatalf("network not recovered; store has %d networks", s2.Len())
+			}
+			requireSameState(t, "recovered", before, stateOf(sh2))
+			if got := s2.Stats().Recoveries; got != 1 {
+				t.Fatalf("recoveries = %d, want 1", got)
+			}
+			// The recovered shard keeps accepting appends.
+			if _, err := sh2.Append(items(stream.Item{From: 0, To: 1, Time: 9, Qty: 1}), stream.Options{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestKillWithoutCloseRecovers drops the store on the floor (no Close, no
+// fsync) — the in-process stand-in for a killed process — and checks the
+// reopened store still has every acknowledged batch.
+func TestKillWithoutCloseRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := s.Create("live", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: float64(i), Qty: 1}), stream.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := stateOf(sh)
+	// No Close: the WAL file descriptor is simply abandoned. Only the
+	// directory lock is dropped, the way a dead process's would be.
+	s.unlockDir()
+
+	s2 := openTestStore(t, Config{Dir: dir})
+	sh2, ok := s2.Get("live")
+	if !ok {
+		t.Fatal("network lost without clean shutdown")
+	}
+	requireSameState(t, "recovered after abandon", before, stateOf(sh2))
+}
+
+// TestPendingBufferSurvivesSnapshot checks the checkpoint carries parked
+// items into the new WAL: snapshot, reopen, reindex still merges them.
+func TestPendingBufferSurvivesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir, SnapshotEvery: -1})
+	sh, err := s.Create("live", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 5, Qty: 5}), stream.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 1, To: 2, Time: 2, Qty: 3}), stream.Options{OnOutOfOrder: stream.PolicyDefer}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if d := sh.Durability(); d.LastSnapshot.IsZero() || d.WALRecordsPending != 1 {
+		t.Fatalf("durability after snapshot %+v, want a snapshot time and exactly the pending record", d)
+	}
+	before := stateOf(sh)
+	s.Close()
+
+	s2 := openTestStore(t, Config{Dir: dir})
+	sh2, _ := s2.Get("live")
+	requireSameState(t, "recovered from snapshot", before, stateOf(sh2))
+	if sh2.Pending() != 1 {
+		t.Fatalf("pending after recovery = %d, want 1", sh2.Pending())
+	}
+	res, err := sh2.Reindex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 1 || sh2.Pending() != 0 {
+		t.Fatalf("reindex after recovery: %+v, pending %d", res, sh2.Pending())
+	}
+}
+
+// TestSnapshotCompactsWAL checks a checkpoint resets the WAL and that
+// recovery afterwards replays snapshot + fresh WAL only.
+func TestSnapshotCompactsWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir, SnapshotEvery: -1})
+	sh, err := s.Create("live", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: float64(i), Qty: 1}), stream.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := sh.Durability()
+	if d.WALRecordsPending != 20 {
+		t.Fatalf("pre-snapshot WAL records = %d, want 20", d.WALRecordsPending)
+	}
+	if err := sh.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	d = sh.Durability()
+	if d.WALRecordsPending != 0 || d.WALBytesPending != 0 || d.BaseGeneration != sh.Generation() {
+		t.Fatalf("post-snapshot durability %+v", d)
+	}
+	// More appends on the fresh WAL.
+	for i := 20; i < 25; i++ {
+		if _, err := sh.Append(items(stream.Item{From: 1, To: 2, Time: float64(i), Qty: 1}), stream.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := stateOf(sh)
+	s.Close()
+
+	// Exactly one snapshot/WAL pair remains on disk.
+	shardDir := filepath.Join(dir, "live")
+	entries, err := os.ReadDir(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("shard dir holds %v, want exactly one snapshot + one WAL", names)
+	}
+
+	s2 := openTestStore(t, Config{Dir: dir})
+	sh2, _ := s2.Get("live")
+	requireSameState(t, "recovered post-compaction", before, stateOf(sh2))
+}
+
+// TestAutoCheckpoint drives enough appends through a small SnapshotEvery
+// to trigger the background checkpointer and waits for it to land.
+func TestAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir, SnapshotEvery: 4})
+	sh, err := s.Create("live", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: float64(i), Qty: 1}), stream.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "background checkpoint", func() bool { return s.Stats().Snapshots >= 1 })
+	d := sh.Durability()
+	if d.LastSnapshot.IsZero() || d.CheckpointError != "" {
+		t.Fatalf("durability after auto checkpoint %+v", d)
+	}
+	before := stateOf(sh)
+	s.Close()
+	s2 := openTestStore(t, Config{Dir: dir})
+	sh2, _ := s2.Get("live")
+	requireSameState(t, "recovered after auto checkpoint", before, stateOf(sh2))
+}
+
+// TestAddExternalNetworkDurable checks Add writes a self-contained initial
+// snapshot: the reopened store restores the network without the original
+// source, including post-Add ingests.
+func TestAddExternalNetworkDurable(t *testing.T) {
+	n := tin.NewNetwork(3)
+	n.AddInteraction(0, 1, 1, 5)
+	n.AddInteraction(1, 2, 2, 5)
+	n.Finalize()
+
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir})
+	sh, err := s.Add("ext", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 7, Qty: 2}), stream.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := stateOf(sh)
+	s.Close()
+
+	s2 := openTestStore(t, Config{Dir: dir})
+	sh2, ok := s2.Get("ext")
+	if !ok {
+		t.Fatal("externally added network not recovered")
+	}
+	requireSameState(t, "recovered external", before, stateOf(sh2))
+	if before.stats.Interactions != 3 {
+		t.Fatalf("fixture drift: %d interactions", before.stats.Interactions)
+	}
+}
+
+// TestTornTailIsDiscarded corrupts the WAL tail in several ways and checks
+// recovery keeps the intact prefix and serves on.
+func TestTornTailIsDiscarded(t *testing.T) {
+	mutations := map[string]func([]byte) []byte{
+		"truncated frame":   func(b []byte) []byte { return b[:len(b)-5] },
+		"garbage appended":  func(b []byte) []byte { return append(b, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8) },
+		"crc flipped":       func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"huge length frame": func(b []byte) []byte { return append(b, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0) },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := s.Create("live", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: float64(i), Qty: 1}), stream.Options{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.Close()
+
+			walPath := filepath.Join(dir, "live", "wal-g1.log")
+			raw, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(walPath, mutate(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := openTestStore(t, Config{Dir: dir})
+			sh2, ok := s2.Get("live")
+			if !ok {
+				t.Fatal("network lost to tail corruption")
+			}
+			st := sh2.NetStats()
+			// The intact prefix holds at least the first two batches.
+			if st.Interactions < 2 {
+				t.Fatalf("recovered %d interactions, want >= 2", st.Interactions)
+			}
+			// The shard accepts appends after truncation.
+			if _, err := sh2.Append(items(stream.Item{From: 1, To: 2, Time: 99, Qty: 1}), stream.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			before := stateOf(sh2)
+			s2.Close()
+			s3 := openTestStore(t, Config{Dir: dir})
+			sh3, _ := s3.Get("live")
+			requireSameState(t, "recovered after truncate+append", before, stateOf(sh3))
+		})
+	}
+}
+
+// TestGrowOnRejectedBatchIsDurable is the edge where Grow extends the
+// vertex space but the batch itself fails validation: the growth (and its
+// generation bump) must survive a restart.
+func TestGrowOnRejectedBatchIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir})
+	sh, err := s.Create("live", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 10, Qty: 1}), stream.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order item addressed to a new vertex, grow allowed, reject
+	// policy: the batch fails but the vertex space grew.
+	if _, err := sh.Append(items(stream.Item{From: 1, To: 7, Time: 1, Qty: 1}), stream.Options{Grow: true}); err == nil {
+		t.Fatal("out-of-order batch unexpectedly succeeded")
+	}
+	before := stateOf(sh)
+	if before.stats.Vertices != 8 {
+		t.Fatalf("vertices after grow = %d, want 8", before.stats.Vertices)
+	}
+	s.Close()
+	s2 := openTestStore(t, Config{Dir: dir})
+	sh2, _ := s2.Get("live")
+	requireSameState(t, "recovered after rejected grow", before, stateOf(sh2))
+}
+
+// TestChangeNotifications checks subscriptions fire per generation bump
+// with the right name, and that recovery replay does not notify.
+func TestChangeNotifications(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir})
+	type ev struct {
+		name string
+		gen  uint64
+	}
+	var mu sync.Mutex
+	var evs []ev
+	s.Subscribe(func(name string, gen uint64) {
+		mu.Lock()
+		evs = append(evs, ev{name, gen})
+		mu.Unlock()
+	})
+	sh, err := s.Create("live", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 1, Qty: 1}), stream.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 1, To: 2, Time: 2, Qty: 1}), stream.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := append([]ev(nil), evs...)
+	mu.Unlock()
+	want := []ev{{"live", 2}, {"live", 3}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("notifications = %v, want %v", got, want)
+	}
+	s.Close()
+
+	// Reopen with a subscriber attached immediately after Open: replay
+	// already happened, so nothing fires.
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	fired := false
+	s2.Subscribe(func(string, uint64) { fired = true })
+	if fired {
+		t.Fatal("recovery replay notified a post-Open subscriber")
+	}
+}
+
+// TestConcurrentAppendsAndQueries exercises the shard locking under -race:
+// writers on two shards, readers and stats pollers on both.
+func TestConcurrentAppendsAndQueries(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir, SnapshotEvery: 8})
+	a, err := s.Create("a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Create("b", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i, sh := range []*Shard{a, b} {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: float64(k), Qty: 1}), stream.Options{}); err != nil {
+					t.Errorf("writer %d: %v", i, err)
+					return
+				}
+			}
+		}(i, sh)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				for _, sh := range s.Shards() {
+					sh.View(func(n *tin.Network, gen uint64) {
+						_ = n.NumInteractions()
+					})
+					_ = sh.Durability()
+				}
+				_ = s.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if a.NetStats().Interactions != 50 || b.NetStats().Interactions != 50 {
+		t.Fatalf("lost appends: a=%d b=%d", a.NetStats().Interactions, b.NetStats().Interactions)
+	}
+	before := map[string]netState{"a": stateOf(a), "b": stateOf(b)}
+	s.Close()
+	s2 := openTestStore(t, Config{Dir: dir})
+	for _, name := range []string{"a", "b"} {
+		sh, ok := s2.Get(name)
+		if !ok {
+			t.Fatalf("network %q lost", name)
+		}
+		requireSameState(t, name, before[name], stateOf(sh))
+	}
+}
+
+// TestEscapedNames checks names needing path escaping survive the disk
+// round trip.
+func TestEscapedNames(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir})
+	name := "prod/euro transfers%v2"
+	sh, err := s.Create(name, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 1, Qty: 1}), stream.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openTestStore(t, Config{Dir: dir})
+	if _, ok := s2.Get(name); !ok {
+		t.Fatalf("escaped-name network lost; store has %v", names(s2))
+	}
+}
+
+func names(s *Store) []string {
+	var out []string
+	for _, sh := range s.Shards() {
+		out = append(out, sh.Name())
+	}
+	return out
+}
+
+// TestWALRecordCodec round-trips the record payload codec directly.
+func TestWALRecordCodec(t *testing.T) {
+	its := items(
+		stream.Item{From: 0, To: 1, Time: 1.5, Qty: 2.25},
+		stream.Item{From: 1 << 20, To: 3, Time: -4, Qty: 0},
+	)
+	opts := stream.Options{OnOutOfOrder: stream.PolicyDefer, Grow: true}
+	rec, ok := decodeRecord(encodeAppend(its, opts))
+	if !ok || rec.op != opAppend {
+		t.Fatalf("append decode failed: %+v ok=%v", rec, ok)
+	}
+	if rec.opts != opts || len(rec.items) != 2 || rec.items[0] != its[0] || rec.items[1] != its[1] {
+		t.Fatalf("append round trip: %+v", rec)
+	}
+	rec, ok = decodeRecord(encodeReindex())
+	if !ok || rec.op != opReindex {
+		t.Fatalf("reindex decode failed")
+	}
+	rec, ok = decodeRecord(encodeGrow(123))
+	if !ok || rec.op != opGrow || rec.numV != 123 {
+		t.Fatalf("grow decode failed: %+v", rec)
+	}
+	for name, payload := range map[string][]byte{
+		"empty":           {},
+		"unknown op":      {99},
+		"append no flags": {opAppend},
+		"append trailing": append(encodeAppend(its, opts), 0),
+		"grow trailing":   append(encodeGrow(5), 0),
+		"reindex payload": {opReindex, 1},
+		"lying count":     appendLyingCount(),
+		// A count small enough to look plausible but larger than the body
+		// can hold must be rejected before the slice allocation.
+		"plausible lying count": binary.AppendUvarint([]byte{opAppend, 0}, 1_000_000),
+	} {
+		if _, ok := decodeRecord(payload); ok {
+			t.Errorf("%s: decodeRecord accepted malformed payload", name)
+		}
+	}
+}
+
+func appendLyingCount() []byte {
+	buf := []byte{opAppend, 0}
+	return binary.AppendUvarint(buf, 1<<40)
+}
+
+// TestRecoverySkipsUnacknowledgedCreate: a network directory without any
+// WAL is a Create/Add that died before its commit point. Open must clean
+// it up and recover the rest of the catalog, not refuse to start.
+func TestRecoverySkipsUnacknowledgedCreate(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir})
+	sh, err := s.Create("live", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 1, Qty: 1}), stream.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := stateOf(sh)
+	s.Close()
+
+	// A create that died after MkdirAll but before the WAL rename...
+	if err := os.MkdirAll(filepath.Join(dir, "ghost"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	// ...and one that died mid-createWAL, leaving only the temp file.
+	if err := os.MkdirAll(filepath.Join(dir, "torn"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "torn", "wal-g1.log.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Directories that are NOT the store's: a misconfigured -data-dir must
+	// never delete user data. They are skipped, not registered, not
+	// removed — even when a file name happens to contain ".tmp".
+	for dirName, fileName := range map[string]string{"photos": "cat.jpg", "scratch": "notes.tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, dirName), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, dirName, fileName), []byte("user data"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := openTestStore(t, Config{Dir: dir})
+	sh2, ok := s2.Get("live")
+	if !ok {
+		t.Fatalf("acknowledged network lost; store has %v", names(s2))
+	}
+	requireSameState(t, "recovered next to ghosts", before, stateOf(sh2))
+	if s2.Len() != 1 {
+		t.Fatalf("store recovered %d networks, want 1 (ghosts must be skipped)", s2.Len())
+	}
+	for _, ghost := range []string{"ghost", "torn"} {
+		if _, err := os.Stat(filepath.Join(dir, ghost)); !os.IsNotExist(err) {
+			t.Errorf("unacknowledged directory %q not cleaned up (err %v)", ghost, err)
+		}
+	}
+	for dirName, fileName := range map[string]string{"photos": "cat.jpg", "scratch": "notes.tmp"} {
+		if _, err := os.ReadFile(filepath.Join(dir, dirName, fileName)); err != nil {
+			t.Errorf("recovery deleted foreign user data %s/%s: %v", dirName, fileName, err)
+		}
+	}
+	// The cleaned-up name is free again.
+	if _, err := s2.Create("ghost", 2); err != nil {
+		t.Errorf("Create over a cleaned ghost dir: %v", err)
+	}
+}
+
+// TestCreateRefusesExistingDirectory: a shard directory that already
+// exists on disk (case-insensitive filesystem collision, or foreign data)
+// must fail the Create instead of being adopted — sharing it would let
+// the new shard's WAL rename over whatever lives there.
+func TestCreateRefusesExistingDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir})
+	if err := os.MkdirAll(filepath.Join(dir, "live"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("live", 3); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("Create over an existing directory: err = %v, want ErrDuplicate", err)
+	}
+	// A failed durable Create leaves no directory behind, so the name is
+	// immediately reusable after the obstruction goes away.
+	if err := os.Remove(filepath.Join(dir, "live")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("live", 3); err != nil {
+		t.Fatalf("Create after removing the obstruction: %v", err)
+	}
+}
+
+// TestOpenReleasesLockOnError: a failed Open must not leave the data
+// directory locked against a retry in the same process.
+func TestOpenReleasesLockOnError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "%zz"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("Open with an undecodable shard directory succeeded")
+	}
+	if err := os.Remove(filepath.Join(dir, "%zz")); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("retry after cleaning the bad directory: %v", err)
+	}
+	s.Close()
+}
+
+// TestDataDirLock: two stores must never serve the same data directory —
+// the second Open fails instead of truncating live WALs.
+func TestDataDirLock(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir})
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("second Open on a locked data directory succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close releases the lock.
+	s2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
+}
+
+// TestWALFailurePoisonsShard: after a WAL append failure the in-memory
+// network is ahead of the disk, so the shard must reject further writes —
+// otherwise later acknowledged batches would be validated against a state
+// recovery cannot reproduce. A successful Snapshot re-synchronizes disk
+// with memory and lifts the poison.
+func TestWALFailurePoisonsShard(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{Dir: dir})
+	sh, err := s.Create("live", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 1, Qty: 1}), stream.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Make the next WAL write fail: close the descriptor under the shard.
+	sh.wal.f.Close()
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 2, Qty: 1}), stream.Options{}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("append on a dead WAL: err = %v, want ErrDurability", err)
+	}
+	if d := sh.Durability(); d.WALError == "" {
+		t.Fatalf("durability does not surface the poison: %+v", d)
+	}
+	// The next write attempt is rejected — even a batch that would log
+	// fine — and queues the repair snapshot.
+	if _, err := sh.Reindex(); !errors.Is(err, ErrDurability) {
+		t.Fatalf("reindex on a poisoned shard: err = %v, want ErrDurability", err)
+	}
+	// The background repair rewrites disk from memory (including the
+	// unlogged batch) and lifts the poison.
+	waitFor(t, "repair snapshot", func() bool { return sh.Durability().WALError == "" })
+	waitFor(t, "append after repair", func() bool {
+		_, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 4, Qty: 1}), stream.Options{})
+		return err == nil
+	})
+	before := stateOf(sh)
+	s.Close()
+	s2 := openTestStore(t, Config{Dir: dir})
+	sh2, _ := s2.Get("live")
+	requireSameState(t, "recovered after repair", before, stateOf(sh2))
+}
+
+// TestSnapshotRepairsPoisonSynchronously: Shard.Snapshot called directly
+// (SnapshotAll, tests, library users) performs the same repair.
+func TestSnapshotRepairsPoisonSynchronously(t *testing.T) {
+	s := openTestStore(t, Config{Dir: t.TempDir(), SnapshotEvery: -1})
+	sh, err := s.Create("live", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 1, Qty: 1}), stream.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	sh.wal.f.Close()
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 2, Qty: 1}), stream.Options{}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("append on a dead WAL: err = %v, want ErrDurability", err)
+	}
+	if err := sh.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if d := sh.Durability(); d.WALError != "" {
+		t.Fatalf("poison survives a successful snapshot: %+v", d)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 3, Qty: 1}), stream.Options{}); err != nil {
+		t.Fatalf("append after synchronous repair: %v", err)
+	}
+}
+
+// TestCreateAddEnforceRecoveryBounds: anything the write path accepts must
+// be loadable by the recovery path, so Create/Add enforce the same vertex
+// bounds recoverShard and ReadNetworkBinary do.
+func TestCreateAddEnforceRecoveryBounds(t *testing.T) {
+	s := openTestStore(t, Config{Dir: t.TempDir()})
+	if _, err := s.Create("big", maxCreateVertices+1); err == nil {
+		t.Error("Create accepted a vertex count recovery would reject")
+	}
+	empty := tin.NewNetwork(0)
+	empty.Finalize()
+	if _, err := s.Add("empty", empty); err == nil {
+		t.Error("Add accepted a zero-vertex network whose snapshot cannot be read back")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rejected registrations leaked into the catalog: %v", names(s))
+	}
+	// The bound itself is fine.
+	if _, err := s.Create("ok", 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALRejectsOversizedRecord: a record the reader would treat as tail
+// corruption must be rejected at write time, not silently dropped at the
+// next recovery.
+func TestWALRejectsOversizedRecord(t *testing.T) {
+	w, err := createWAL(filepath.Join(t.TempDir(), "wal-g1.log"), walHeader{baseGen: 1, numV: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if err := w.append(make([]byte, maxWALRecord+1), false); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if w.records != 0 || w.size != walHeaderSize {
+		t.Fatalf("rejected record mutated the WAL cursor: records=%d size=%d", w.records, w.size)
+	}
+	if err := w.append([]byte{opReindex}, false); err != nil {
+		t.Fatalf("normal append after rejection: %v", err)
+	}
+}
+
+// waitFor polls cond for up to ~5s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

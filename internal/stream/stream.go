@@ -81,18 +81,46 @@ type Network struct {
 	net     *tin.Network
 	gen     uint64
 	pending []Item
+	// onChange, when set, is invoked after every generation bump, with the
+	// write lock still held (see SetOnChange).
+	onChange func(gen uint64)
 }
 
 // Wrap makes a finalized network live-updatable. The caller must not use n
 // directly afterwards; all access goes through the wrapper.
-func Wrap(n *tin.Network) (*Network, error) {
+func Wrap(n *tin.Network) (*Network, error) { return WrapAt(n, 1) }
+
+// WrapAt is Wrap with an explicit starting generation — the restore path of
+// a durable store, which must resume exactly the generation its recovered
+// clients last observed. gen must be at least 1.
+func WrapAt(n *tin.Network, gen uint64) (*Network, error) {
 	if n == nil || !n.Finalized() {
 		return nil, errors.New("stream: network must be non-nil and finalized")
 	}
 	if n.NeedsReindex() {
 		return nil, errors.New("stream: network is awaiting a Reindex")
 	}
-	return &Network{net: n, gen: 1}, nil
+	if gen < 1 {
+		return nil, fmt.Errorf("stream: generation must be >= 1, got %d", gen)
+	}
+	return &Network{net: n, gen: gen}, nil
+}
+
+// SetOnChange registers fn to be called after every operation that bumps
+// the generation (append, reindex, grow), with the new generation. The
+// callback runs while the network's write lock is still held, so that no
+// change can be observed before its notification: fn must be fast and must
+// not call back into the network. Pass nil to unregister. Not safe to call
+// concurrently with appends; register before the network goes live.
+func (s *Network) SetOnChange(fn func(gen uint64)) { s.onChange = fn }
+
+// bump increments the generation and notifies the change listener. Callers
+// must hold the write lock.
+func (s *Network) bump() {
+	s.gen++
+	if s.onChange != nil {
+		s.onChange(s.gen)
+	}
 }
 
 // NewEmpty creates a live network with numV vertices and no interactions —
@@ -118,6 +146,42 @@ func (s *Network) Pending() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.pending)
+}
+
+// PendingItems returns a copy of the parked out-of-order interactions, in
+// arrival order — what a durable store must persist alongside a snapshot
+// for the pending buffer to survive a restart.
+func (s *Network) PendingItems() []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.pending) == 0 {
+		return nil
+	}
+	items := make([]Item, len(s.pending))
+	copy(items, s.pending)
+	return items
+}
+
+// Grow extends the vertex space to numV vertices, bumping the generation
+// when it actually grows (the vertex count is query-observable). Growth
+// past tin.MaxVertices is refused. It returns the resulting generation
+// and whether the network grew.
+func (s *Network) Grow(numV int) (gen uint64, grew bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if numV <= s.net.NumVertices() || numV > tin.MaxVertices {
+		return s.gen, false
+	}
+	s.net.GrowVertices(numV)
+	s.bump()
+	return s.gen, true
+}
+
+// NumVertices returns the live network's current vertex count.
+func (s *Network) NumVertices() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.net.NumVertices()
 }
 
 // Acquire read-locks the live network and returns it together with its
@@ -157,13 +221,19 @@ func (s *Network) Append(items []Item, opts Options) (Result, error) {
 				maxID = int(it.To)
 			}
 		}
+		if maxID >= tin.MaxVertices {
+			// Rejected before anything mutates: growth past the shared
+			// ceiling would both demand an unbounded adjacency allocation
+			// and produce snapshots the binary reader refuses to load.
+			return Result{Generation: s.gen}, fmt.Errorf("stream: grow to vertex %d exceeds the %d-vertex limit", maxID, tin.MaxVertices)
+		}
 		if maxID >= s.net.NumVertices() {
 			s.net.GrowVertices(maxID + 1)
 			// The vertex count is query-observable (batch "all", network
 			// listings), so growing bumps the generation on its own — even
 			// if the rest of the batch is later rejected, the grown space
 			// stays and cached answers for the old shape must die.
-			s.gen++
+			s.bump()
 		}
 	}
 
@@ -204,7 +274,7 @@ func (s *Network) Append(items []Item, opts Options) (Result, error) {
 	res.Appended = appended
 	res.Deferred = len(parked)
 	if res.Appended > 0 {
-		s.gen++
+		s.bump()
 	}
 	res.Generation = s.gen
 	return res, nil
@@ -230,7 +300,7 @@ func (s *Network) Reindex() (Result, error) {
 	}
 	s.pending = nil
 	if appended > 0 {
-		s.gen++
+		s.bump()
 	}
 	return Result{Appended: appended, Generation: s.gen}, nil
 }

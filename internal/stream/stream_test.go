@@ -174,6 +174,20 @@ func TestAppendGrow(t *testing.T) {
 		t.Fatalf("after grown-but-rejected batch: gen %d vertices %d, want 4 and 10",
 			s.Generation(), s.Stats().Vertices)
 	}
+
+	// Growth past the shared vertex ceiling is refused before anything
+	// mutates: an acknowledged grow beyond tin.MaxVertices would produce
+	// snapshots the binary reader rejects, bricking recovery.
+	gen := s.Generation()
+	if _, err := s.Append([]Item{{From: 0, To: tin.MaxVertices, Time: 2, Qty: 1}}, Options{Grow: true}); err == nil {
+		t.Fatal("grow past tin.MaxVertices succeeded, want error")
+	}
+	if s.Generation() != gen || s.Stats().Vertices != 10 {
+		t.Fatalf("rejected oversize grow left state behind: gen %d vertices %d", s.Generation(), s.Stats().Vertices)
+	}
+	if _, grew := s.Grow(tin.MaxVertices + 1); grew {
+		t.Fatal("Grow past tin.MaxVertices succeeded, want refusal")
+	}
 }
 
 func TestWrapRequiresFinalized(t *testing.T) {
@@ -249,5 +263,103 @@ func TestConcurrentAppendAndQuery(t *testing.T) {
 	wg.Wait()
 	if got := flow(t, s, 2); got < 5 {
 		t.Fatalf("final flow = %g, want >= 5", got)
+	}
+}
+
+// TestWrapAtAndGrow covers the durable-store support surface: generation
+// restore, explicit grow, and the pending-items snapshot.
+func TestWrapAtAndGrow(t *testing.T) {
+	n := tin.NewNetwork(3)
+	n.AddInteraction(0, 1, 1, 5)
+	n.Finalize()
+	s, err := WrapAt(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := s.Generation(); g != 7 {
+		t.Fatalf("Generation after WrapAt = %d, want 7", g)
+	}
+	if _, err := WrapAt(tinFinalized(3), 0); err == nil {
+		t.Fatal("WrapAt accepted generation 0")
+	}
+
+	if gen, grew := s.Grow(2); grew || gen != 7 {
+		t.Fatalf("shrinking Grow = (%d, %v), want no-op at 7", gen, grew)
+	}
+	if gen, grew := s.Grow(10); !grew || gen != 8 {
+		t.Fatalf("Grow(10) = (%d, %v), want bump to 8", gen, grew)
+	}
+	if nv := s.NumVertices(); nv != 10 {
+		t.Fatalf("NumVertices after grow = %d, want 10", nv)
+	}
+}
+
+func tinFinalized(numV int) *tin.Network {
+	n := tin.NewNetwork(numV)
+	n.Finalize()
+	return n
+}
+
+// TestOnChangeNotifications checks that every generation bump — append,
+// grow (even inside a failed batch), reindex — fires the change callback
+// exactly once with the new generation.
+func TestOnChangeNotifications(t *testing.T) {
+	s := NewEmpty(2)
+	var gens []uint64
+	s.SetOnChange(func(gen uint64) { gens = append(gens, gen) })
+
+	if _, err := s.Append([]Item{{From: 0, To: 1, Time: 1, Qty: 5}}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Deferred-only append: no bump, no notification.
+	if _, err := s.Append([]Item{{From: 1, To: 0, Time: 0.5, Qty: 1}}, Options{OnOutOfOrder: PolicyDefer}); err != nil {
+		t.Fatal(err)
+	}
+	// Grow inside a rejected batch still bumps (and notifies) once.
+	if _, err := s.Append([]Item{{From: 0, To: 5, Time: 0.1, Qty: 1}}, Options{Grow: true}); err == nil {
+		t.Fatal("out-of-order append unexpectedly succeeded")
+	}
+	if _, err := s.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []uint64{2, 3, 4}
+	if len(gens) != len(want) {
+		t.Fatalf("notifications = %v, want %v", gens, want)
+	}
+	for i := range want {
+		if gens[i] != want[i] {
+			t.Fatalf("notifications = %v, want %v", gens, want)
+		}
+	}
+}
+
+// TestPendingItemsSnapshot checks that PendingItems returns an isolated
+// copy of the parked buffer in arrival order.
+func TestPendingItemsSnapshot(t *testing.T) {
+	s := NewEmpty(3)
+	if _, err := s.Append([]Item{{From: 0, To: 1, Time: 5, Qty: 1}}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	late := []Item{{From: 1, To: 2, Time: 2, Qty: 3}, {From: 2, To: 0, Time: 1, Qty: 4}}
+	if _, err := s.Append(late, Options{OnOutOfOrder: PolicyDefer}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.PendingItems()
+	if len(got) != 2 || got[0] != late[0] || got[1] != late[1] {
+		t.Fatalf("PendingItems = %+v, want %+v", got, late)
+	}
+	got[0].Qty = 99 // mutating the copy must not touch the buffer
+	if again := s.PendingItems(); again[0].Qty != 3 {
+		t.Fatalf("PendingItems returned shared storage: %+v", again)
+	}
+	if s.PendingItems() == nil {
+		t.Fatal("pending items lost")
+	}
+	if _, err := s.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	if s.PendingItems() != nil {
+		t.Fatal("PendingItems non-nil after reindex")
 	}
 }

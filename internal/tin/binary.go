@@ -1,0 +1,147 @@
+package tin
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary network codec. The text format (io.go) is the interchange format;
+// this is the storage format: the durable store (internal/store) writes
+// network snapshots with it because parsing text — strconv on every field,
+// plus the full canonical re-rank in Finalize — dominates large-network
+// load times. The binary layout needs neither: records are fixed-width and
+// written in canonical order, so loading is one sequential read that
+// rebuilds the network already finalized.
+//
+// Layout (all fields little-endian):
+//
+//	magic      [4]byte  "FNTB"
+//	version    uint16   1
+//	recordSize uint16   24 (self-describing: readers reject other widths)
+//	numV       uint64   vertex count
+//	numIA      uint64   interaction count (length prefix of the record array)
+//	records    numIA × { from uint32, to uint32, time float64, qty float64 }
+//
+// Records appear in canonical (Time, insertion index) order; the reader
+// verifies the non-decreasing timestamps and assigns Ord = record index,
+// which reproduces the exact order a text round trip would re-derive.
+// Trailing bytes after the last record are ignored, so container formats
+// (the store's snapshot trailer, if one is ever added) can extend the file.
+//
+// LoadNetwork sniffs the magic, so binary and text files coexist behind one
+// loader — including gzip-compressed binary files under ".gz" names.
+
+const (
+	binaryMagic      = "FNTB"
+	binaryVersion    = 1
+	binaryRecordSize = 24
+	binaryHeaderSize = 4 + 2 + 2 + 8 + 8
+)
+
+// MaxVertices is the vertex count ceiling shared by every layer that
+// allocates adjacency arrays from untrusted sizes: the binary reader (a
+// corrupt or hostile header must not demand an unbounded allocation), the
+// store's Create/Add and WAL recovery, and the server's POST /networks.
+// One constant keeps the write and recovery paths in lock-step — a
+// network any layer accepts is a network every layer can load back.
+const MaxVertices = 1 << 24
+
+// WriteNetworkBinary writes the network to w in the binary snapshot format,
+// in canonical interaction order.
+func WriteNetworkBinary(w io.Writer, n *Network) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [binaryHeaderSize]byte
+	copy(hdr[0:4], binaryMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], binaryVersion)
+	binary.LittleEndian.PutUint16(hdr[6:8], binaryRecordSize)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(n.numV))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(n.numIA))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [binaryRecordSize]byte
+	for _, r := range canonicalRows(n) {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(r.from))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(r.to))
+		binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(r.ia.Time))
+		binary.LittleEndian.PutUint64(rec[16:24], math.Float64bits(r.ia.Qty))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNetworkBinary parses the binary snapshot format. The returned network
+// is finalized; because records carry the canonical order on disk, no
+// re-rank is performed. Corrupt input of any kind yields an error, never a
+// panic.
+func ReadNetworkBinary(r io.Reader) (*Network, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [binaryHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("tin: binary header: %w", err)
+	}
+	if string(hdr[0:4]) != binaryMagic {
+		return nil, fmt.Errorf("tin: not a binary network file (magic %q)", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != binaryVersion {
+		return nil, fmt.Errorf("tin: unsupported binary version %d (want %d)", v, binaryVersion)
+	}
+	if rs := binary.LittleEndian.Uint16(hdr[6:8]); rs != binaryRecordSize {
+		return nil, fmt.Errorf("tin: unsupported binary record size %d (want %d)", rs, binaryRecordSize)
+	}
+	numV := binary.LittleEndian.Uint64(hdr[8:16])
+	numIA := binary.LittleEndian.Uint64(hdr[16:24])
+	if numV == 0 {
+		return nil, fmt.Errorf("tin: binary network with zero vertices")
+	}
+	if numV > MaxVertices {
+		return nil, fmt.Errorf("tin: binary vertex count %d exceeds limit %d", numV, MaxVertices)
+	}
+
+	// Records are read and validated in full before the adjacency arrays
+	// are allocated: the slice below can only grow as large as the input
+	// actually is, so a lying length prefix fails at EOF instead of
+	// committing memory.
+	items := make([]BatchItem, 0, min(numIA, 1<<16))
+	var rec [binaryRecordSize]byte
+	lastTime := math.Inf(-1)
+	for i := uint64(0); i < numIA; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("tin: binary record %d: %w", i, err)
+		}
+		from := binary.LittleEndian.Uint32(rec[0:4])
+		to := binary.LittleEndian.Uint32(rec[4:8])
+		t := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16]))
+		q := math.Float64frombits(binary.LittleEndian.Uint64(rec[16:24]))
+		if uint64(from) >= numV || uint64(to) >= numV {
+			return nil, fmt.Errorf("tin: binary record %d: vertex (%d,%d) out of range [0,%d)", i, from, to, numV)
+		}
+		if from == to {
+			return nil, fmt.Errorf("tin: binary record %d: self loop on vertex %d", i, from)
+		}
+		if q < 0 || math.IsNaN(q) || math.IsInf(q, 0) || math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("tin: binary record %d: invalid interaction (%v,%v)", i, t, q)
+		}
+		if t < lastTime {
+			return nil, fmt.Errorf("tin: binary record %d: time %v precedes %v (records must be in canonical order)", i, t, lastTime)
+		}
+		lastTime = t
+		items = append(items, BatchItem{From: VertexID(from), To: VertexID(to), Time: t, Qty: q})
+	}
+
+	n := NewNetwork(int(numV))
+	for _, it := range items {
+		n.AddInteraction(it.From, it.To, it.Time, it.Qty)
+	}
+	// Records were written — and verified above — in canonical order, so
+	// the insertion-order Ords assigned by AddInteraction are already the
+	// canonical ranks; skip the Finalize re-rank.
+	n.finalized = true
+	n.maxTime = lastTime
+	return n, nil
+}

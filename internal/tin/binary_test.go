@@ -1,0 +1,271 @@
+package tin
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBinaryRoundTrip checks that the binary codec preserves the network
+// exactly — canonical order, tie-breaks and all — through an in-memory
+// write/read cycle.
+func TestBinaryRoundTrip(t *testing.T) {
+	n := ioTestNetwork()
+	var buf bytes.Buffer
+	if err := WriteNetworkBinary(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadNetworkBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameNetwork(t, n, m)
+	if !m.Finalized() {
+		t.Fatal("binary load returned an unfinalized network")
+	}
+	if m.MaxTime() != n.MaxTime() {
+		t.Fatalf("MaxTime after binary load = %v, want %v", m.MaxTime(), n.MaxTime())
+	}
+}
+
+// TestBinaryRoundTripEmpty covers a network with vertices but no
+// interactions — the shape of a freshly created ingest-ready network.
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	n := NewNetwork(7)
+	n.Finalize()
+	var buf bytes.Buffer
+	if err := WriteNetworkBinary(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadNetworkBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVertices() != 7 || m.NumInteractions() != 0 {
+		t.Fatalf("empty round trip: %+v", m.Stats())
+	}
+	if !math.IsInf(m.MaxTime(), -1) {
+		t.Fatalf("MaxTime of empty network = %v, want -inf", m.MaxTime())
+	}
+}
+
+// TestLoadNetworkSniffsBinary checks that LoadNetwork transparently loads
+// binary files — plain and gzip-compressed — alongside text files.
+func TestLoadNetworkSniffsBinary(t *testing.T) {
+	n := ioTestNetwork()
+	dir := t.TempDir()
+
+	bin := filepath.Join(dir, "net.tinb")
+	if err := SaveNetworkBinary(bin, n); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadNetwork(bin)
+	if err != nil {
+		t.Fatalf("LoadNetwork(binary): %v", err)
+	}
+	sameNetwork(t, n, m)
+
+	// Gzip-compressed binary under a .gz name.
+	var raw bytes.Buffer
+	if err := WriteNetworkBinary(&raw, n); err != nil {
+		t.Fatal(err)
+	}
+	gzPath := filepath.Join(dir, "net.tinb.gz")
+	var gzBuf bytes.Buffer
+	zw := gzip.NewWriter(&gzBuf)
+	zw.Write(raw.Bytes())
+	zw.Close()
+	if err := os.WriteFile(gzPath, gzBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err = LoadNetwork(gzPath)
+	if err != nil {
+		t.Fatalf("LoadNetwork(binary .gz): %v", err)
+	}
+	sameNetwork(t, n, m)
+
+	// A text file still loads through the text parser.
+	txt := filepath.Join(dir, "net.txt")
+	if err := SaveNetwork(txt, n); err != nil {
+		t.Fatal(err)
+	}
+	m, err = LoadNetwork(txt)
+	if err != nil {
+		t.Fatalf("LoadNetwork(text): %v", err)
+	}
+	sameNetwork(t, n, m)
+}
+
+// TestBinaryAndTextLoadAgree checks that the two codecs produce identical
+// networks (including canonical Ords) from the same source.
+func TestBinaryAndTextLoadAgree(t *testing.T) {
+	n := ioTestNetwork()
+	var tb, bb bytes.Buffer
+	if err := WriteNetwork(&tb, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNetworkBinary(&bb, n); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := ReadNetwork(&tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadNetworkBinary(&bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameNetwork(t, fromText, fromBin)
+}
+
+// corruptBinary returns a valid binary encoding with mutate applied.
+func corruptBinary(t *testing.T, mutate func([]byte) []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteNetworkBinary(&buf, ioTestNetwork()); err != nil {
+		t.Fatal(err)
+	}
+	return mutate(buf.Bytes())
+}
+
+func TestBinaryCorruptInputsError(t *testing.T) {
+	putU64 := func(b []byte, off int, v uint64) []byte {
+		binary.LittleEndian.PutUint64(b[off:off+8], v)
+		return b
+	}
+	for name, data := range map[string][]byte{
+		"empty":          {},
+		"short header":   []byte(binaryMagic),
+		"bad magic":      corruptBinary(t, func(b []byte) []byte { b[0] = 'X'; return b }),
+		"bad version":    corruptBinary(t, func(b []byte) []byte { b[4] = 99; return b }),
+		"bad rec size":   corruptBinary(t, func(b []byte) []byte { b[6] = 23; return b }),
+		"zero vertices":  corruptBinary(t, func(b []byte) []byte { return putU64(b, 8, 0) }),
+		"huge vertices":  corruptBinary(t, func(b []byte) []byte { return putU64(b, 8, 1<<40) }),
+		"lying count":    corruptBinary(t, func(b []byte) []byte { return putU64(b, 16, 1<<30) }),
+		"truncated":      corruptBinary(t, func(b []byte) []byte { return b[:len(b)-7] }),
+		"vertex range":   corruptBinary(t, func(b []byte) []byte { binary.LittleEndian.PutUint32(b[binaryHeaderSize:], 1<<30); return b }),
+		"self loop":      corruptBinary(t, func(b []byte) []byte { copy(b[binaryHeaderSize:], b[binaryHeaderSize+4:binaryHeaderSize+8]); return b }),
+		"negative qty":   corruptBinary(t, func(b []byte) []byte { return putU64(b, binaryHeaderSize+16, math.Float64bits(-1)) }),
+		"nan time":       corruptBinary(t, func(b []byte) []byte { return putU64(b, binaryHeaderSize+8, math.Float64bits(math.NaN())) }),
+		"order violated": corruptBinary(t, func(b []byte) []byte { return putU64(b, binaryHeaderSize+8, math.Float64bits(1e9)) }),
+	} {
+		if _, err := ReadNetworkBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadNetworkBinary accepted corrupt input", name)
+		}
+	}
+}
+
+// FuzzLoadNetwork fuzzes the full sniffing load path over raw file bytes:
+// text, binary and gzip inputs — corrupt, truncated or hostile — must
+// either load or error, never panic. Whatever loads must round-trip
+// through the binary codec.
+func FuzzLoadNetwork(f *testing.F) {
+	f.Add([]byte("0 1 1.5 2.5\n1 2 3 4\n"), false)
+	f.Add([]byte("# vertices 10\n0 1 1 1\n"), false)
+	f.Add([]byte(""), false)
+	f.Add([]byte(binaryMagic), false)
+	f.Add([]byte("FNTB garbage that is not a real header"), false)
+	var valid bytes.Buffer
+	n := NewNetwork(3)
+	n.AddInteraction(0, 1, 1, 5)
+	n.AddInteraction(1, 2, 2, 5)
+	n.Finalize()
+	if err := WriteNetworkBinary(&valid, n); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes(), false)
+	f.Add(valid.Bytes()[:len(valid.Bytes())-5], false) // torn tail
+	f.Add(valid.Bytes(), true)                         // gzip-compressed binary
+	f.Add([]byte{0x1f, 0x8b, 0xff, 0x00}, true)        // gzip magic, corrupt stream
+
+	f.Fuzz(func(t *testing.T, data []byte, gz bool) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "net.txt")
+		raw := data
+		if gz {
+			path = filepath.Join(dir, "net.gz")
+			if !bytes.HasPrefix(data, []byte{0x1f, 0x8b}) {
+				// Not pre-compressed fuzz data: compress it so the gzip
+				// layer passes and the inner sniffing is exercised.
+				var buf bytes.Buffer
+				zw := gzip.NewWriter(&buf)
+				zw.Write(data)
+				zw.Close()
+				raw = buf.Bytes()
+			}
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadNetwork(path)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteNetworkBinary(&buf, loaded); err != nil {
+			t.Fatalf("WriteNetworkBinary after successful load: %v", err)
+		}
+		again, err := ReadNetworkBinary(&buf)
+		if err != nil {
+			t.Fatalf("binary re-read of loaded network: %v", err)
+		}
+		if again.NumEdges() != loaded.NumEdges() || again.NumInteractions() != loaded.NumInteractions() {
+			t.Fatalf("binary round trip changed shape: %+v vs %+v", again.Stats(), loaded.Stats())
+		}
+	})
+}
+
+// TestAtomicSaveLeavesTargetIntact is the crash-safety regression: a save
+// whose writer fails mid-way must leave the previous file byte-identical
+// and must not litter the directory with temporaries.
+func TestAtomicSaveLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	n := ioTestNetwork()
+	if err := SaveNetwork(path, n); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject a writer that fails after a partial write — the stand-in for
+	// a crash (or disk-full) in the middle of a save.
+	boom := os.ErrClosed
+	err = atomicSave(path, func(f fileWriter) error {
+		f.Write([]byte("torn partial conte"))
+		f.Close()
+		return boom
+	})
+	if err != boom {
+		t.Fatalf("atomicSave error = %v, want the injected failure", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("failed save modified the target:\nbefore %q\nafter  %q", before, after)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temporary file %q left behind", e.Name())
+		}
+	}
+	// And the reloaded network is still the original.
+	m, err := LoadNetwork(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameNetwork(t, n, m)
+}

@@ -5,7 +5,9 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,15 +30,7 @@ func WriteNetwork(w io.Writer, n *Network) error {
 	}
 	// Emit in canonical order so that reloading reproduces the same
 	// tie-break order (Ord is re-derived from (time, line order) at load).
-	rows := make([]ioRow, 0, n.numIA)
-	for e := range n.edges {
-		ed := &n.edges[e]
-		for _, ia := range ed.Seq {
-			rows = append(rows, ioRow{ed.From, ed.To, ia})
-		}
-	}
-	sort.Slice(rows, func(a, b int) bool { return rows[a].ia.Ord < rows[b].ia.Ord })
-	for _, r := range rows {
+	for _, r := range canonicalRows(n) {
 		if _, err := fmt.Fprintf(bw, "%d %d %g %g\n", r.from, r.to, r.ia.Time, r.ia.Qty); err != nil {
 			return err
 		}
@@ -50,14 +44,83 @@ type ioRow struct {
 	ia       Interaction
 }
 
+// canonicalRows flattens the network's interactions into canonical order,
+// the on-disk order of both the text and the binary codec.
+func canonicalRows(n *Network) []ioRow {
+	rows := make([]ioRow, 0, n.numIA)
+	for e := range n.edges {
+		ed := &n.edges[e]
+		for _, ia := range ed.Seq {
+			rows = append(rows, ioRow{ed.From, ed.To, ia})
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].ia.Ord < rows[b].ia.Ord })
+	return rows
+}
+
 // SaveNetwork writes the network to the named file, gzip-compressed if the
-// name ends in ".gz".
+// name ends in ".gz". The write is crash-safe: the bytes go to a temporary
+// file in the target directory which is renamed into place only after a
+// successful flush to disk, so a crash mid-save can never leave a torn
+// network file under the target name.
 func SaveNetwork(path string, n *Network) error {
-	f, err := os.Create(path)
+	return atomicSave(path, func(f fileWriter) error {
+		return saveNetwork(f, strings.HasSuffix(path, ".gz"), n)
+	})
+}
+
+// SaveNetworkBinary writes the network to the named file in the binary
+// snapshot format (see binary.go), gzip-compressed if the name ends in
+// ".gz" (like SaveNetwork, so every saved file loads back through the
+// sniffing LoadNetwork), with the same crash-safe temp-and-rename
+// protocol as SaveNetwork.
+func SaveNetworkBinary(path string, n *Network) error {
+	return atomicSave(path, func(f fileWriter) error {
+		return savePayload(f, strings.HasSuffix(path, ".gz"), func(w io.Writer) error {
+			return WriteNetworkBinary(w, n)
+		})
+	})
+}
+
+// atomicSave writes a file via write (which must sync and close its
+// argument) into a temporary file next to path, then renames it into place.
+// On any failure the temporary file is removed and the previous content of
+// path — if any — is left untouched.
+func atomicSave(path string, write func(fileWriter) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
 	if err != nil {
 		return err
 	}
-	return saveNetwork(f, strings.HasSuffix(path, ".gz"), n)
+	tmp := f.Name()
+	if err := write(f); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// CreateTemp makes the file 0600; the rename would silently carry that
+	// over, narrowing what a plain os.Create-based save produced. Restore
+	// the target's previous mode when overwriting, else the conventional
+	// 0644.
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(path); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	if err := os.Chmod(tmp, mode); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable. Directory sync is best-effort: some
+	// filesystems refuse to sync directories, and the data is safe either
+	// way once the target file's own Sync succeeded.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // fileWriter is the subset of *os.File that saveNetwork needs; tests
@@ -68,17 +131,23 @@ type fileWriter interface {
 	Close() error
 }
 
-// saveNetwork writes n to f, syncs and closes it. A Sync or Close failure
-// after a clean write is still reported: a file whose final flush to disk
-// failed is truncated, and must not report success.
+// saveNetwork writes n to f in the text format, syncs and closes it.
 func saveNetwork(f fileWriter, gz bool, n *Network) error {
+	return savePayload(f, gz, func(w io.Writer) error { return WriteNetwork(w, n) })
+}
+
+// savePayload runs write against f — through a gzip layer when gz is set —
+// then syncs and closes f. A Sync or Close failure after a clean write is
+// still reported: a file whose final flush to disk failed is truncated,
+// and must not report success.
+func savePayload(f fileWriter, gz bool, write func(io.Writer) error) error {
 	var w io.Writer = f
 	var zw *gzip.Writer
 	if gz {
 		zw = gzip.NewWriter(f)
 		w = zw
 	}
-	err := WriteNetwork(w, n)
+	err := write(w)
 	if err == nil && zw != nil {
 		err = zw.Close()
 	}
@@ -141,8 +210,11 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 		if from < 0 || to < 0 {
 			return nil, fmt.Errorf("tin: line %d: negative vertex id", lineNo)
 		}
-		if q < 0 {
-			return nil, fmt.Errorf("tin: line %d: negative quantity %g", lineNo, q)
+		if q < 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+			return nil, fmt.Errorf("tin: line %d: invalid quantity %g", lineNo, q)
+		}
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("tin: line %d: invalid time %g", lineNo, t)
 		}
 		lines = append(lines, line{VertexID(from), VertexID(to), t, q})
 		if VertexID(from) > maxID {
@@ -162,6 +234,12 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 	if nv == 0 {
 		return nil, fmt.Errorf("tin: empty network file")
 	}
+	// The shared ceiling (MaxVertices) applies to the text parser too: a
+	// lying "# vertices" header must not demand an unbounded allocation,
+	// and every loadable network must survive a binary round trip.
+	if nv > MaxVertices {
+		return nil, fmt.Errorf("tin: vertex count %d exceeds limit %d", nv, MaxVertices)
+	}
 	n := NewNetwork(nv)
 	for _, l := range lines {
 		n.AddInteraction(l.from, l.to, l.t, l.q)
@@ -171,7 +249,9 @@ func ReadNetwork(r io.Reader) (*Network, error) {
 }
 
 // LoadNetwork reads a network from the named file, transparently
-// decompressing ".gz" files.
+// decompressing ".gz" files and sniffing the format: files starting with
+// the binary magic load through the binary codec (ReadNetworkBinary),
+// everything else through the text parser (ReadNetwork).
 func LoadNetwork(path string) (*Network, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -187,5 +267,18 @@ func LoadNetwork(path string) (*Network, error) {
 		defer gz.Close()
 		r = gz
 	}
-	return ReadNetwork(r)
+	return sniffNetwork(r)
+}
+
+// sniffNetwork dispatches a decompressed network stream to the binary or
+// the text parser by peeking at the magic. No valid text file can start
+// with the binary magic ("FNTB" parses as neither comment nor integer), so
+// the dispatch is unambiguous.
+func sniffNetwork(r io.Reader) (*Network, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && string(head) == binaryMagic {
+		return ReadNetworkBinary(br)
+	}
+	return ReadNetwork(br)
 }

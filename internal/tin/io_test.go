@@ -3,7 +3,10 @@ package tin
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -109,5 +112,75 @@ func TestSaveNetworkPropagatesCloseError(t *testing.T) {
 	}
 	if f.Len() == 0 {
 		t.Errorf("clean save wrote nothing")
+	}
+}
+
+// TestReadNetworkRejectsInvalidInput: the text parser must error — never
+// panic, never over-allocate — on hostile numeric fields, mirroring the
+// binary reader's validation (pinned by FuzzLoadNetwork).
+func TestReadNetworkRejectsInvalidInput(t *testing.T) {
+	for name, input := range map[string]string{
+		"nan qty":       "0 1 1 nan\n",
+		"inf qty":       "0 1 1 inf\n",
+		"nan time":      "0 1 nan 1\n",
+		"inf time":      "0 1 -inf 1\n",
+		"huge header":   "# vertices 99999999999\n0 1 1 1\n",
+		"header at cap": fmt.Sprintf("# vertices %d\n0 1 1 1\n", MaxVertices+1),
+	} {
+		if _, err := ReadNetwork(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ReadNetwork accepted %q", name, input)
+		}
+	}
+}
+
+// TestSaveNetworkIsAtomic is the crash-safety regression test: a save that
+// fails mid-write must leave the previous file byte-identical and no
+// temporary litter — the writer goes to a temp file that is only renamed
+// into place after a successful flush.
+func TestSaveNetworkIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	n := ioTestNetwork()
+	if err := SaveNetwork(path, n); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A failing writer stands in for the disk filling up / the process
+	// dying mid-save: atomicSave must abandon the temp file untouched.
+	boom := errors.New("disk full")
+	if err := atomicSave(path, func(f fileWriter) error {
+		f.Write([]byte("torn ")) // partial bytes reached the temp file
+		f.Close()
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("atomicSave err = %v, want the injected write error", err)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("failed save changed the target file:\nbefore %q\nafter  %q", before, after)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "net.txt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp litter left behind after failed save: %v", names)
+	}
+	if m, err := LoadNetwork(path); err != nil {
+		t.Fatalf("target unreadable after failed save: %v", err)
+	} else {
+		sameNetwork(t, n, m)
 	}
 }
