@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"flownet/internal/server"
 )
@@ -78,23 +81,117 @@ type PatternQueryOptions struct {
 	Workers int
 }
 
+// DefaultTimeout is the end-to-end timeout of the http.Client that
+// NewClient installs. A client without one hangs forever on a stalled
+// server or a black-holed connection; callers needing a different bound
+// (or none) pass their own client via WithHTTPClient.
+const DefaultTimeout = 30 * time.Second
+
+// RetryPolicy configures how the client retries transient failures:
+// transport errors and 429 / 503 responses (overload shedding, read-only
+// shards pending repair — exactly the statuses flownetd marks with a
+// Retry-After hint, which the policy honors). Only idempotent requests are
+// retried: every GET, and POST /flow/batch, which computes without writing.
+// POST /ingest and POST /networks are never retried — after a transport
+// error the outcome is unknown, and replaying an append would duplicate
+// interactions.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (0 = DefaultRetryPolicy.MaxAttempts; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt with jitter in [delay/2, delay] to decorrelate clients
+	// (0 = DefaultRetryPolicy.BaseDelay).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff, including server Retry-After hints
+	// (0 = DefaultRetryPolicy.MaxDelay).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the policy NewClient installs: a handful of quick
+// attempts that ride out a shed burst or a repair snapshot without turning
+// a genuinely down server into minutes of blocking.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = DefaultRetryPolicy.MaxAttempts
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = DefaultRetryPolicy.BaseDelay
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = DefaultRetryPolicy.MaxDelay
+	}
+	return p
+}
+
+// delay computes the sleep before retry number retry (1-based), preferring
+// the server's Retry-After hint when it is longer than the backoff.
+func (p RetryPolicy) delay(retry int, hint time.Duration) time.Duration {
+	d := p.BaseDelay << (retry - 1)
+	if d > p.MaxDelay || d <= 0 { // <= 0: shift overflow
+		d = p.MaxDelay
+	}
+	// Full jitter on the upper half: uniformly in [d/2, d].
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if hint > d {
+		d = hint
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// HTTPError is the error returned for any non-200 response, exposing the
+// status code and the server's Retry-After hint (zero when absent). Use
+// errors.As to inspect it.
+type HTTPError struct {
+	Status  int
+	Message string // server-provided error text, or the raw body
+	// RetryAfter is the parsed Retry-After hint of 429/503 answers.
+	RetryAfter time.Duration
+	structured bool // Message came from the JSON error envelope
+}
+
+func (e *HTTPError) Error() string {
+	if e.structured {
+		return fmt.Sprintf("flownetd: %s (HTTP %d)", e.Message, e.Status)
+	}
+	return fmt.Sprintf("flownetd: HTTP %d: %s", e.Status, e.Message)
+}
+
 // Client is a minimal client for a flownetd server. The zero value is not
 // usable; construct with NewClient. Methods are safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // NewClient returns a client for the flownetd instance at baseURL (e.g.
-// "http://localhost:8080"), using http.DefaultClient.
+// "http://localhost:8080"), with a DefaultTimeout-bounded http.Client and
+// DefaultRetryPolicy retries for idempotent requests.
 func NewClient(baseURL string) *Client {
-	return &Client{base: strings.TrimSuffix(baseURL, "/"), hc: http.DefaultClient}
+	return &Client{
+		base:  strings.TrimSuffix(baseURL, "/"),
+		hc:    &http.Client{Timeout: DefaultTimeout},
+		retry: DefaultRetryPolicy,
+	}
 }
 
 // WithHTTPClient replaces the underlying *http.Client (timeouts, proxies,
 // test transports) and returns c for chaining.
 func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 	c.hc = hc
+	return c
+}
+
+// WithRetryPolicy replaces the retry policy and returns c for chaining.
+// RetryPolicy{MaxAttempts: 1} disables retries entirely.
+func (c *Client) WithRetryPolicy(p RetryPolicy) *Client {
+	c.retry = p
 	return c
 }
 
@@ -129,7 +226,7 @@ func (c *Client) SeedFlow(ctx context.Context, network string, seed VertexID, op
 // BatchFlowSeeds runs the per-seed batch experiment on the server.
 func (c *Client) BatchFlowSeeds(ctx context.Context, req BatchRequest) (BatchResult, error) {
 	var res BatchResult
-	err := c.post(ctx, "/flow/batch", req, &res)
+	err := c.post(ctx, "/flow/batch", req, &res, true)
 	return res, err
 }
 
@@ -166,7 +263,7 @@ func (c *Client) Patterns(ctx context.Context, network, patternName, mode string
 // and the network's new generation.
 func (c *Client) Ingest(ctx context.Context, req IngestRequest) (IngestResult, error) {
 	var res IngestResult
-	err := c.post(ctx, "/ingest", req, &res)
+	err := c.post(ctx, "/ingest", req, &res, false)
 	return res, err
 }
 
@@ -174,7 +271,7 @@ func (c *Client) Ingest(ctx context.Context, req IngestRequest) (IngestResult, e
 // (POST /networks), ready for Ingest. Requires -allow-ingest.
 func (c *Client) CreateNetwork(ctx context.Context, name string, vertices int) (CreateNetworkResult, error) {
 	var res CreateNetworkResult
-	err := c.post(ctx, "/networks", CreateNetworkRequest{Name: name, Vertices: vertices}, &res)
+	err := c.post(ctx, "/networks", CreateNetworkRequest{Name: name, Vertices: vertices}, &res, false)
 	return res, err
 }
 
@@ -220,17 +317,16 @@ func addFlowOptions(q url.Values, opts *FlowQueryOptions, seedMode bool) {
 	}
 }
 
-func (c *Client) post(ctx context.Context, path string, in, out any) error {
+// post issues a POST. retryable must be true only for requests that are
+// safe to replay (/flow/batch computes without writing); ingestion and
+// network creation pass false because a transport error leaves the outcome
+// unknown and a replay would duplicate the write.
+func (c *Client) post(ctx context.Context, path string, in, out any, retryable bool) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.do(ctx, http.MethodPost, c.base+path, body, out, retryable)
 }
 
 func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
@@ -238,11 +334,7 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, out)
+	return c.do(ctx, http.MethodGet, u, nil, out, true)
 }
 
 // maxResponseBytes bounds how much of a response body the client reads; a
@@ -250,7 +342,86 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 // silently truncated into a JSON decode failure.
 const maxResponseBytes = 64 << 20
 
-func (c *Client) do(req *http.Request, out any) error {
+// do runs one request to completion, retrying transient failures under the
+// client's RetryPolicy when retryable is true. Each attempt rebuilds the
+// *http.Request from scratch (a consumed body reader cannot be resent).
+func (c *Client) do(ctx context.Context, method, u string, body []byte, out any, retryable bool) error {
+	p := c.retry.withDefaults()
+	attempts := p.MaxAttempts
+	if !retryable || attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		var br io.Reader
+		if body != nil {
+			br = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, br)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		lastErr = c.doOnce(req, out)
+		if lastErr == nil || attempt >= attempts || !transientError(lastErr) {
+			return lastErr
+		}
+		select {
+		case <-time.After(p.delay(attempt, retryAfterHint(lastErr))):
+		case <-ctx.Done():
+			// The caller gave up while we were backing off; its reason
+			// trumps the transient failure we were about to retry.
+			return ctx.Err()
+		}
+	}
+}
+
+// transientError reports whether err is worth retrying: a transport-level
+// failure (connection refused or reset, a timed-out exchange) or a response
+// the server explicitly marked retryable (429, 503 — shed load, read-only
+// shard). Context cancellation is the caller's decision, never retried;
+// other HTTP statuses (400s, 500, 504) are authoritative answers.
+func transientError(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Status == http.StatusTooManyRequests || he.Status == http.StatusServiceUnavailable
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// retryAfterHint extracts the server's Retry-After hint, zero when absent.
+func retryAfterHint(err error) time.Duration {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.RetryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter parses a Retry-After header: delta-seconds or HTTP-date.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// doOnce performs a single exchange and decodes the answer into out.
+func (c *Client) doOnce(req *http.Request, out any) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -264,13 +435,18 @@ func (c *Client) do(req *http.Request, out any) error {
 		return fmt.Errorf("flownetd: response body exceeds %d bytes", maxResponseBytes)
 	}
 	if resp.StatusCode != http.StatusOK {
+		he := &HTTPError{
+			Status:     resp.StatusCode,
+			Message:    string(bytes.TrimSpace(body)),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 		var eb struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("flownetd: %s (HTTP %d)", eb.Error, resp.StatusCode)
+			he.Message, he.structured = eb.Error, true
 		}
-		return fmt.Errorf("flownetd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		return he
 	}
 	return json.Unmarshal(body, out)
 }

@@ -1,0 +1,197 @@
+package flownet_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	flownet "flownet"
+)
+
+// fastRetry is a test policy with negligible backoff so retry loops finish
+// in microseconds.
+var fastRetry = flownet.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond}
+
+// flakyHandler answers failStatus (with an optional Retry-After header) for
+// the first fail requests to each path, then delegates to ok.
+type flakyHandler struct {
+	calls      atomic.Int64
+	fail       int64
+	failStatus int
+	retryAfter string
+	ok         http.HandlerFunc
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.calls.Add(1) <= h.fail {
+		if h.retryAfter != "" {
+			w.Header().Set("Retry-After", h.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(h.failStatus)
+		json.NewEncoder(w).Encode(map[string]string{"error": "try later"})
+		return
+	}
+	h.ok(w, r)
+}
+
+func okStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(flownet.StatsResult{UptimeSeconds: 1})
+}
+
+func TestClientRetriesShedGET(t *testing.T) {
+	for _, status := range []int{http.StatusServiceUnavailable, http.StatusTooManyRequests} {
+		h := &flakyHandler{fail: 2, failStatus: status, retryAfter: "0", ok: okStats}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		c := flownet.NewClient(ts.URL).WithHTTPClient(ts.Client()).WithRetryPolicy(fastRetry)
+		res, err := c.Stats(context.Background())
+		if err != nil {
+			t.Fatalf("status %d: want transparent recovery, got %v", status, err)
+		}
+		if res.UptimeSeconds != 1 {
+			t.Fatalf("status %d: wrong decoded result: %+v", status, res)
+		}
+		if got := h.calls.Load(); got != 3 {
+			t.Fatalf("status %d: want 3 attempts (2 failures + success), got %d", status, got)
+		}
+	}
+}
+
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	h := &flakyHandler{fail: 1 << 30, failStatus: http.StatusServiceUnavailable, ok: okStats}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := flownet.NewClient(ts.URL).WithHTTPClient(ts.Client()).WithRetryPolicy(fastRetry)
+	_, err := c.Stats(context.Background())
+	var he *flownet.HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want HTTPError 503 after exhausting retries, got %v", err)
+	}
+	if got := h.calls.Load(); got != int64(fastRetry.MaxAttempts) {
+		t.Fatalf("want exactly %d attempts, got %d", fastRetry.MaxAttempts, got)
+	}
+}
+
+func TestClientNeverRetriesNonIdempotentPosts(t *testing.T) {
+	h := &flakyHandler{fail: 1 << 30, failStatus: http.StatusServiceUnavailable, ok: okStats}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := flownet.NewClient(ts.URL).WithHTTPClient(ts.Client()).WithRetryPolicy(fastRetry)
+	ctx := context.Background()
+
+	if _, err := c.Ingest(ctx, flownet.IngestRequest{Network: "n"}); err == nil {
+		t.Fatal("want error from failing ingest")
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("POST /ingest must not be retried: want 1 attempt, got %d", got)
+	}
+	h.calls.Store(0)
+	if _, err := c.CreateNetwork(ctx, "n", 10); err == nil {
+		t.Fatal("want error from failing create")
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("POST /networks must not be retried: want 1 attempt, got %d", got)
+	}
+}
+
+func TestClientRetriesIdempotentBatchPost(t *testing.T) {
+	h := &flakyHandler{fail: 1, failStatus: http.StatusServiceUnavailable, retryAfter: "0",
+		ok: func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(flownet.BatchResult{Network: "n", Solved: 1})
+		}}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := flownet.NewClient(ts.URL).WithHTTPClient(ts.Client()).WithRetryPolicy(fastRetry)
+	res, err := c.BatchFlowSeeds(context.Background(), flownet.BatchRequest{Network: "n", Seeds: []int{1}})
+	if err != nil || res.Solved != 1 {
+		t.Fatalf("batch should retry through a shed: res=%+v err=%v", res, err)
+	}
+	if got := h.calls.Load(); got != 2 {
+		t.Fatalf("want 2 attempts, got %d", got)
+	}
+}
+
+func TestClientDoesNotRetryAuthoritativeErrors(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusNotFound,
+		http.StatusInternalServerError, http.StatusGatewayTimeout} {
+		h := &flakyHandler{fail: 1 << 30, failStatus: status, ok: okStats}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		c := flownet.NewClient(ts.URL).WithHTTPClient(ts.Client()).WithRetryPolicy(fastRetry)
+		_, err := c.Stats(context.Background())
+		var he *flownet.HTTPError
+		if !errors.As(err, &he) || he.Status != status {
+			t.Fatalf("status %d: want HTTPError, got %v", status, err)
+		}
+		if got := h.calls.Load(); got != 1 {
+			t.Fatalf("status %d is authoritative: want 1 attempt, got %d", status, got)
+		}
+	}
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	// A server that accepts one request and then goes away entirely: the
+	// first attempt hits a closed listener, and with retries disabled the
+	// transport error surfaces immediately.
+	ts := httptest.NewServer(http.HandlerFunc(okStats))
+	url := ts.URL
+	ts.Close()
+	c := flownet.NewClient(url).WithRetryPolicy(flownet.RetryPolicy{MaxAttempts: 1})
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("want transport error from closed server")
+	}
+
+	// With retries on, the attempt count shows the transport error was
+	// retried: run against a server that never existed and count via the
+	// elapsed backoff being survivable (MaxAttempts small, delays tiny).
+	c = flownet.NewClient(url).WithRetryPolicy(fastRetry)
+	start := time.Now()
+	_, err := c.Stats(context.Background())
+	if err == nil {
+		t.Fatal("want error: server is gone")
+	}
+	if he := new(flownet.HTTPError); errors.As(err, &he) {
+		t.Fatalf("want transport-level error, got HTTP error %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry loop took implausibly long for microsecond backoffs")
+	}
+}
+
+func TestClientHonorsContextDuringBackoff(t *testing.T) {
+	h := &flakyHandler{fail: 1 << 30, failStatus: http.StatusServiceUnavailable, retryAfter: "30", ok: okStats}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	// Big backoff via Retry-After: the context expires mid-sleep and must
+	// win over further attempts.
+	c := flownet.NewClient(ts.URL).WithHTTPClient(ts.Client()).
+		WithRetryPolicy(flownet.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Stats(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation should cut the 30s Retry-After short, took %v", elapsed)
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("want 1 attempt before the deadline killed the backoff, got %d", got)
+	}
+}
+
+func TestClientErrorStringFormats(t *testing.T) {
+	structured := &flownet.HTTPError{Status: 404, Message: "unknown network \"x\""}
+	if !strings.Contains(structured.Error(), "HTTP 404") {
+		t.Fatalf("unexpected format: %s", structured.Error())
+	}
+}

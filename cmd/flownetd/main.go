@@ -14,12 +14,18 @@
 //	POST /ingest            append interactions (requires -allow-ingest)
 //	POST /networks          register an empty network (requires -allow-ingest)
 //	GET  /networks          GET /stats          GET /healthz
+//	GET  /metrics           Prometheus text exposition of the /stats counters
 //
 // Repeated queries are memoized in a bounded LRU (-cache-size entries) and
 // replayed byte-identically; every ingested batch bumps the network's
 // generation, so stale answers are never replayed. -workers bounds every
 // worker pool. With -allow-ingest the service may start with no -net at
 // all and be populated entirely over HTTP.
+//
+// Overload protection: -query-timeout deadlines every query (expired ones
+// answer 504 and are never cached); -max-inflight bounds concurrently
+// executing queries, shedding excess load with 503 + Retry-After. The
+// control plane (/healthz, /stats, /metrics, ingestion) is never shed.
 //
 // With -data-dir the catalog is durable (internal/store): every accepted
 // ingest batch is written to a per-network WAL before it is acknowledged,
@@ -83,6 +89,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		dataDir     = fs.String("data-dir", "", "durable storage directory (per-network WAL + binary snapshots); empty = in-memory only")
 		walSync     = fs.Bool("wal-sync", false, "fsync the WAL after every accepted batch instead of only at checkpoints (requires -data-dir)")
 		snapEvery   = fs.Int("snapshot-every", 0, "WAL records per network that trigger a background snapshot (0 = default 256, negative = never; requires -data-dir)")
+		queryTO     = fs.Duration("query-timeout", 0, "per-request deadline for /flow, /flow/batch and /patterns; expired queries answer 504 (0 = no deadline)")
+		maxInflight = fs.Int("max-inflight", 0, "maximum concurrently executing queries; excess load answers 503 + Retry-After (0 = unbounded)")
 	)
 	fs.Var(&nets, "net", "network to load, as name=path or path (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -124,7 +132,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cli.ErrUsage
 	}
 
-	srv := server.New(server.Config{Workers: *workers, CacheSize: *cacheSize, Engine: eng, AllowIngest: *allowIngest, Store: st})
+	if *queryTO < 0 || *maxInflight < 0 {
+		fmt.Fprintln(stderr, "flownetd: -query-timeout and -max-inflight must be >= 0")
+		return cli.ErrUsage
+	}
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		CacheSize:    *cacheSize,
+		Engine:       eng,
+		AllowIngest:  *allowIngest,
+		Store:        st,
+		QueryTimeout: *queryTO,
+		MaxInFlight:  *maxInflight,
+	})
 	for _, spec := range nets {
 		name, path := splitNetSpec(spec)
 		if recovered[name] {

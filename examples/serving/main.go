@@ -36,7 +36,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Never construct an http.Server without read-side timeouts: a
+		// client trickling its request a byte at a time (slowloris) would
+		// otherwise pin a goroutine and a descriptor forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go hs.Serve(ln)
 	defer hs.Shutdown(context.Background())
 

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	flownet "flownet"
+	"flownet/internal/datagen"
+	"flownet/internal/server"
+)
+
+// benchShed measures the end-to-end latency a client sees for successfully
+// served flow queries while the server is under a concurrent burst. With
+// maxInflight > 0 the burst is shed (503 + Retry-After) and the measured
+// client retries through it — the number is the cost of overload
+// protection as experienced by the requests that do get served. With
+// maxInflight == 0 everything queues on the worker pool instead — the
+// baseline the shedding variant is judged against. The shed fraction of
+// all /flow traffic is reported alongside.
+func benchShed(b *testing.B, maxInflight int) {
+	n := datagen.Prosper(datagen.Config{Vertices: 200, Seed: 9})
+	s := server.New(server.Config{CacheSize: 0, MaxInFlight: maxInflight})
+	if err := s.AddNetwork("bench", n); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+
+	// The burst: four un-retried clients hammering uncached every-seed
+	// batch queries, each heavy enough (tens of ms) to hold an admission
+	// slot across scheduling quanta — short handlers on a small worker
+	// count can run to completion before the next request is even
+	// admitted, and nothing would ever contend.
+	noRetry := flownet.RetryPolicy{MaxAttempts: 1}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := flownet.NewClient(ts.URL).WithHTTPClient(ts.Client()).WithRetryPolicy(noRetry)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.BatchFlowSeeds(ctx, flownet.BatchRequest{Network: "bench", All: true})
+			}
+		}()
+	}
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	c := flownet.NewClient(ts.URL).WithHTTPClient(ts.Client()).
+		WithRetryPolicy(flownet.RetryPolicy{MaxAttempts: 50, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SeedFlow(ctx, "bench", flownet.VertexID(i%n.NumVertices()), nil); err != nil {
+			b.Fatalf("measured query failed through retries: %v", err)
+		}
+	}
+	b.StopTimer()
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep := st.Endpoints["/flow"]
+	if ep.Requests > 0 {
+		b.ReportMetric(float64(ep.Shed)/float64(ep.Requests), "shed-frac")
+	}
+}
+
+func BenchmarkServedLatencyUnderShedding(b *testing.B) { benchShed(b, 2) }
+func BenchmarkServedLatencyUnbounded(b *testing.B)     { benchShed(b, 0) }

@@ -1,0 +1,390 @@
+// Package fault is the fault-injection layer of the durable store: a
+// pluggable filesystem interface (FS) that internal/store performs all of
+// its disk IO through, an OS implementation that passes straight through
+// to the os package, and an Injector that wraps any FS and injects
+// failures — write errors, short writes, fsync failures, latency — by
+// declarative rule.
+//
+// The point is to make the store's failure paths (WAL append failures,
+// torn checkpoints, disk-full, slow disks) drivable from ordinary tests:
+// the chaos suite in internal/server builds a durable store over an
+// Injector and exercises poison → degraded serving → repair end-to-end
+// through the HTTP surface, deterministically and without root, loopback
+// block devices, or real full disks.
+//
+// Rules count their matches atomically, so an Injector is safe to share
+// across the store's goroutines (handlers, the background checkpointer)
+// under the race detector.
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error delivered by a Rule that specifies no
+// explicit Err. Tests match it with errors.Is.
+var ErrInjected = errors.New("fault: injected error")
+
+// Op names one filesystem operation class a Rule can target.
+type Op string
+
+const (
+	OpCreate   Op = "create"
+	OpOpen     Op = "open"
+	OpOpenFile Op = "openfile"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpMkdir    Op = "mkdir"
+	OpReadDir  Op = "readdir"
+	OpStat     Op = "stat"
+	OpSyncDir  Op = "syncdir"
+	// Per-file operations, matched against the path the file was opened
+	// under.
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+)
+
+// File is the handle interface the store writes and recovers through —
+// the *os.File subset it actually uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface of internal/store. Every disk operation
+// the store performs goes through exactly one of these methods, so an
+// implementation sees — and may fail — each of them.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	Mkdir(name string, perm os.FileMode) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory so a preceding rename in it is durable.
+	// Implementations may make it a best-effort no-op on platforms where
+	// directories cannot be opened.
+	SyncDir(name string) error
+}
+
+// OS is the passthrough FS: every method is the corresponding os call.
+// The zero value is ready to use; it is what a store without an injector
+// runs on.
+type OS struct{}
+
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+func (OS) Open(name string) (File, error)   { return os.Open(name) }
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (OS) Mkdir(name string, perm os.FileMode) error    { return os.Mkdir(name, perm) }
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Rule declares one injection: which operations it matches, how many
+// matches pass before it starts firing, how often it fires, and what it
+// does when it fires. The zero value of every field is the permissive
+// default; a Rule must set Op (or it matches nothing).
+type Rule struct {
+	// Op selects the operation class the rule applies to.
+	Op Op
+	// Path is a substring the operation's path must contain ("" matches
+	// every path). Rename matches on either path.
+	Path string
+	// After lets this many matching calls through before the rule starts
+	// firing (0 = fire from the first match).
+	After int
+	// Times bounds how often the rule fires (0 = every match after After).
+	// Once exhausted the rule is inert and matching calls pass through.
+	Times int
+	// Err is the error injected when the rule fires (nil selects
+	// ErrInjected). A firing rule with only Delay set injects no error.
+	Err error
+	// ShortWrite applies to OpWrite: when the rule fires, only this many
+	// bytes of the payload are written before the error is returned —
+	// the classic torn write of a crash or a full disk. 0 writes nothing.
+	ShortWrite int
+	// Delay is slept before the operation when the rule fires. If Err is
+	// nil and ShortWrite is 0, the operation then proceeds normally —
+	// pure latency injection.
+	Delay time.Duration
+	// DelayOnly marks the rule as latency-only: Delay is injected and the
+	// operation proceeds. Without it a firing rule injects an error
+	// (Err or ErrInjected).
+	DelayOnly bool
+
+	matches  atomic.Int64
+	injected atomic.Int64
+	disarmed atomic.Bool
+}
+
+// Injections reports how many times the rule has fired so far.
+func (r *Rule) Injections() int { return int(r.injected.Load()) }
+
+// Disarm switches the rule off at runtime: matching calls pass through
+// without advancing its counters. A chaos drill uses this to hold a fault
+// open for as long as it needs to observe the degraded state, then lift it
+// deterministically — something Times alone cannot express when background
+// repair work races the observation.
+func (r *Rule) Disarm() { r.disarmed.Store(true) }
+
+// Arm re-enables a disarmed rule.
+func (r *Rule) Arm() { r.disarmed.Store(false) }
+
+// fire decides whether this match triggers the rule, advancing its
+// counters.
+func (r *Rule) fire() bool {
+	if r.disarmed.Load() {
+		return false
+	}
+	m := r.matches.Add(1)
+	if int(m) <= r.After {
+		return false
+	}
+	if r.Times > 0 && int(m) > r.After+r.Times {
+		return false
+	}
+	r.injected.Add(1)
+	return true
+}
+
+// err resolves the injected error.
+func (r *Rule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// Injector is an FS middleware that applies Rules to a base FS. Create
+// one with NewInjector; it is safe for concurrent use.
+type Injector struct {
+	base  FS
+	rules []*Rule
+}
+
+// NewInjector wraps base (nil selects OS{}) with the given rules. Rules
+// are consulted in order; the first rule that fires wins.
+func NewInjector(base FS, rules ...*Rule) *Injector {
+	if base == nil {
+		base = OS{}
+	}
+	return &Injector{base: base, rules: rules}
+}
+
+// check runs the rule table for one operation. It returns a non-nil error
+// when a firing rule injects one; latency-only rules sleep and fall
+// through.
+func (in *Injector) check(op Op, paths ...string) error {
+	for _, r := range in.rules {
+		if r.Op != op || !matchPath(r.Path, paths) {
+			continue
+		}
+		if !r.fire() {
+			continue
+		}
+		if r.Delay > 0 {
+			time.Sleep(r.Delay)
+		}
+		if r.DelayOnly {
+			continue
+		}
+		return r.err()
+	}
+	return nil
+}
+
+// checkWrite is check for OpWrite, additionally reporting how many bytes
+// a short write should let through (-1 = no short write, fail outright).
+func (in *Injector) checkWrite(path string, n int) (short int, err error) {
+	for _, r := range in.rules {
+		if r.Op != OpWrite || !matchPath(r.Path, []string{path}) {
+			continue
+		}
+		if !r.fire() {
+			continue
+		}
+		if r.Delay > 0 {
+			time.Sleep(r.Delay)
+		}
+		if r.DelayOnly {
+			continue
+		}
+		if r.ShortWrite > 0 && r.ShortWrite < n {
+			return r.ShortWrite, r.err()
+		}
+		return 0, r.err()
+	}
+	return -1, nil
+}
+
+func matchPath(sub string, paths []string) bool {
+	if sub == "" {
+		return true
+	}
+	for _, p := range paths {
+		if strings.Contains(p, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Injector) Create(name string) (File, error) {
+	if err := in.check(OpCreate, name); err != nil {
+		return nil, err
+	}
+	f, err := in.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, path: name, in: in}, nil
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if err := in.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := in.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, path: name, in: in}, nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := in.check(OpOpenFile, name); err != nil {
+		return nil, err
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{f: f, path: name, in: in}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.check(OpRename, oldpath, newpath); err != nil {
+		return err
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.check(OpRemove, name); err != nil {
+		return err
+	}
+	return in.base.Remove(name)
+}
+
+func (in *Injector) RemoveAll(path string) error {
+	if err := in.check(OpRemove, path); err != nil {
+		return err
+	}
+	return in.base.RemoveAll(path)
+}
+
+func (in *Injector) Mkdir(name string, perm os.FileMode) error {
+	if err := in.check(OpMkdir, name); err != nil {
+		return err
+	}
+	return in.base.Mkdir(name, perm)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := in.check(OpMkdir, path); err != nil {
+		return err
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := in.check(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return in.base.ReadDir(name)
+}
+
+func (in *Injector) Stat(name string) (os.FileInfo, error) {
+	if err := in.check(OpStat, name); err != nil {
+		return nil, err
+	}
+	return in.base.Stat(name)
+}
+
+func (in *Injector) SyncDir(name string) error {
+	if err := in.check(OpSyncDir, name); err != nil {
+		return err
+	}
+	return in.base.SyncDir(name)
+}
+
+// injFile routes a file's Write/Sync/Truncate through the rule table
+// under the path the file was opened with.
+type injFile struct {
+	f    File
+	path string
+	in   *Injector
+}
+
+func (f *injFile) Read(p []byte) (int, error) { return f.f.Read(p) }
+
+func (f *injFile) Write(p []byte) (int, error) {
+	short, err := f.in.checkWrite(f.path, len(p))
+	if err != nil {
+		n := 0
+		if short > 0 {
+			// A short write puts real bytes on disk before failing — the
+			// torn tail recovery must detect and truncate.
+			n, _ = f.f.Write(p[:short])
+		}
+		return n, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Seek(offset int64, whence int) (int64, error) { return f.f.Seek(offset, whence) }
+func (f *injFile) Close() error                                 { return f.f.Close() }
+
+func (f *injFile) Sync() error {
+	if err := f.in.check(OpSync, f.path); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Truncate(size int64) error {
+	if err := f.in.check(OpTruncate, f.path); err != nil {
+		return err
+	}
+	return f.f.Truncate(size)
+}

@@ -1,0 +1,231 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestOSPassthrough sanity-checks the passthrough FS end to end: create,
+// write, sync, rename, reopen, read, stat, remove.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	var fs FS = OS{}
+	p := filepath.Join(dir, "a.txt")
+	f, err := fs.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q := filepath.Join(dir, "b.txt")
+	if err := fs.Rename(p, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Open(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := g.Read(buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("read %q, %v", buf, err)
+	}
+	g.Close()
+	if fi, err := fs.Stat(q); err != nil || fi.Size() != 5 {
+		t.Fatalf("stat: %v %v", fi, err)
+	}
+	entries, err := fs.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("readdir: %v %v", entries, err)
+	}
+	if err := fs.Remove(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectSyncFailure: a sync rule fires on matching paths only, After
+// matches pass first, and Times exhausts the rule.
+func TestInjectSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	rule := &Rule{Op: OpSync, Path: "wal-", After: 1, Times: 1}
+	fs := NewInjector(OS{}, rule)
+
+	wal, err := fs.Create(filepath.Join(dir, "wal-g1.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	other, err := fs.Create(filepath.Join(dir, "snapshot-g1.tinb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+
+	if err := other.Sync(); err != nil {
+		t.Fatalf("non-matching path was injected: %v", err)
+	}
+	if err := wal.Sync(); err != nil {
+		t.Fatalf("After=1 should let the first matching sync pass: %v", err)
+	}
+	if err := wal.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second matching sync: err = %v, want ErrInjected", err)
+	}
+	if err := wal.Sync(); err != nil {
+		t.Fatalf("Times=1 exhausted, sync should pass again: %v", err)
+	}
+	if got := rule.Injections(); got != 1 {
+		t.Fatalf("Injections() = %d, want 1", got)
+	}
+}
+
+// TestInjectShortWrite: the rule puts a real partial payload on disk
+// before failing — the torn tail a crash leaves behind.
+func TestInjectShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("disk full")
+	fs := NewInjector(OS{}, &Rule{Op: OpWrite, ShortWrite: 3, Err: boom})
+	p := filepath.Join(dir, "f")
+	f, err := fs.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("payload"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("write err = %v, want the injected error", err)
+	}
+	if n != 3 {
+		t.Fatalf("short write reported %d bytes, want 3", n)
+	}
+	f.Close()
+	got, err := os.ReadFile(p)
+	if err != nil || string(got) != "pay" {
+		t.Fatalf("on-disk content %q (%v), want the 3-byte torn prefix", got, err)
+	}
+}
+
+// TestInjectWriteErrorWritesNothing: without ShortWrite the payload never
+// reaches the disk.
+func TestInjectWriteErrorWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInjector(OS{}, &Rule{Op: OpWrite})
+	p := filepath.Join(dir, "f")
+	f, err := fs.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("payload")); !errors.Is(err, ErrInjected) || n != 0 {
+		t.Fatalf("write = (%d, %v), want (0, ErrInjected)", n, err)
+	}
+	f.Close()
+	if got, _ := os.ReadFile(p); len(got) != 0 {
+		t.Fatalf("on-disk content %q, want empty", got)
+	}
+}
+
+// TestInjectLatency: a DelayOnly rule slows the operation down but lets
+// it succeed.
+func TestInjectLatency(t *testing.T) {
+	dir := t.TempDir()
+	const delay = 30 * time.Millisecond
+	fs := NewInjector(OS{}, &Rule{Op: OpCreate, Delay: delay, DelayOnly: true})
+	t0 := time.Now()
+	f, err := fs.Create(filepath.Join(dir, "slow"))
+	if err != nil {
+		t.Fatalf("DelayOnly rule injected an error: %v", err)
+	}
+	f.Close()
+	if elapsed := time.Since(t0); elapsed < delay {
+		t.Fatalf("create took %v, want at least the injected %v", elapsed, delay)
+	}
+}
+
+// TestInjectCreateAndRename: directory-level operations are injectable
+// too (a full disk fails creates; rename failure tears a checkpoint
+// commit).
+func TestInjectCreateAndRename(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewInjector(OS{},
+		&Rule{Op: OpCreate, Path: ".tmp"},
+		&Rule{Op: OpRename, Path: "snapshot-"},
+	)
+	if _, err := fs.Create(filepath.Join(dir, "wal-g1.log.tmp")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("create: err = %v, want ErrInjected", err)
+	}
+	if _, err := fs.Create(filepath.Join(dir, "wal-g1.log")); err != nil {
+		t.Fatalf("non-matching create failed: %v", err)
+	}
+	// Rename matches on either side.
+	if err := fs.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "snapshot-g2.tinb")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename: err = %v, want ErrInjected", err)
+	}
+}
+
+// TestConcurrentRules: rule counters are safe under concurrent fire —
+// exactly Times injections happen no matter how many goroutines race.
+func TestConcurrentRules(t *testing.T) {
+	dir := t.TempDir()
+	rule := &Rule{Op: OpSync, Times: 10}
+	fs := NewInjector(OS{}, rule)
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	done := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			injected := 0
+			for i := 0; i < 25; i++ {
+				if errors.Is(f.Sync(), ErrInjected) {
+					injected++
+				}
+			}
+			done <- injected
+		}()
+	}
+	total := 0
+	for g := 0; g < 8; g++ {
+		total += <-done
+	}
+	if total != 10 || rule.Injections() != 10 {
+		t.Fatalf("injected %d errors (rule says %d), want exactly 10", total, rule.Injections())
+	}
+}
+
+func TestDisarmAndRearm(t *testing.T) {
+	dir := t.TempDir()
+	rule := &Rule{Op: OpSync}
+	fs := NewInjector(OS{}, rule)
+	f, err := fs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if !errors.Is(f.Sync(), ErrInjected) {
+		t.Fatal("armed rule should fire")
+	}
+	rule.Disarm()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("disarmed rule must pass the call through, got %v", err)
+	}
+	if got := rule.Injections(); got != 1 {
+		t.Fatalf("disarmed matches must not count, got %d injections", got)
+	}
+	rule.Arm()
+	if !errors.Is(f.Sync(), ErrInjected) {
+		t.Fatal("re-armed rule should fire again")
+	}
+}

@@ -30,7 +30,14 @@ type flowOutcome struct {
 func searchInstances(p *Pattern, n *tin.Network, opts Options, reused bool, enumerate func(emit func(*Instance) bool)) (Summary, error) {
 	sum := Summary{Pattern: p.Name}
 	var solveErr error
+	// Cancellation is polled in reduce, which runs on the caller goroutine
+	// in both the sequential and the fan-out path; abandoning the reduction
+	// drains the pool, so a cancelled search never leaks workers.
+	cc := canceller{ctx: opts.Ctx}
 	reduce := func(r flowOutcome) bool {
+		if solveErr = cc.err(); solveErr != nil {
+			return false
+		}
 		if r.err != nil {
 			solveErr = r.err
 			return false
@@ -91,9 +98,14 @@ type anchorGroup struct {
 // in (anchor, group) order, so the result is identical to the sequential
 // scan for any worker count. The MinPaths filter and MaxInstances cut-off
 // are applied during reduction.
-func searchAnchors(name string, n *tin.Network, opts Options, collect func(a tin.VertexID) []anchorGroup) Summary {
+func searchAnchors(name string, n *tin.Network, opts Options, collect func(a tin.VertexID) []anchorGroup) (Summary, error) {
 	sum := Summary{Pattern: name}
+	var ctxErr error
+	cc := canceller{ctx: opts.Ctx}
 	reduce := func(groups []anchorGroup) bool {
+		if ctxErr = cc.err(); ctxErr != nil {
+			return false
+		}
 		for _, g := range groups {
 			if g.paths < opts.minPaths() {
 				continue
@@ -114,7 +126,7 @@ func searchAnchors(name string, n *tin.Network, opts Options, collect func(a tin
 				break
 			}
 		}
-		return sum
+		return sum, ctxErr
 	}
 	par.OrderedFanOut(workers,
 		func(emit func(tin.VertexID) bool) {
@@ -126,5 +138,5 @@ func searchAnchors(name string, n *tin.Network, opts Options, collect func(a tin
 		},
 		collect,
 		reduce)
-	return sum
+	return sum, ctxErr
 }

@@ -1,6 +1,8 @@
 package pattern
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"flownet/internal/core"
@@ -105,5 +107,34 @@ func TestInstanceClone(t *testing.T) {
 	c.EdgeIDs[0] = 9
 	if in.V[0] != 1 || in.EdgeIDs[0] != 3 {
 		t.Errorf("Clone shares storage with the original")
+	}
+}
+
+// TestSearchCancellation: an expired Options.Ctx stops every search plan —
+// GB and PB, rigid and relaxed, sequential and parallel — with the context
+// error, and a live context changes nothing.
+func TestSearchCancellation(t *testing.T) {
+	n := randomNetwork(11, 16)
+	tb := Precompute(n, true)
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range Catalogue {
+		for _, workers := range []int{1, 4} {
+			opts := Options{Engine: core.EngineLP, Workers: workers, Ctx: expired}
+			if _, err := SearchGB(n, p, opts); !errors.Is(err, context.Canceled) {
+				t.Errorf("%s/GB workers=%d with expired ctx: err = %v, want context.Canceled", p.Name, workers, err)
+			}
+			if _, err := SearchPB(n, tb, p, opts); !errors.Is(err, context.Canceled) {
+				t.Errorf("%s/PB workers=%d with expired ctx: err = %v, want context.Canceled", p.Name, workers, err)
+			}
+			// A live context must not disturb the result.
+			opts.Ctx = context.Background()
+			if _, err := SearchGB(n, p, opts); err != nil {
+				t.Errorf("%s/GB with live ctx: %v", p.Name, err)
+			}
+			if _, err := SearchPB(n, tb, p, opts); err != nil {
+				t.Errorf("%s/PB with live ctx: %v", p.Name, err)
+			}
+		}
 	}
 }

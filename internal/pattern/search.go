@@ -1,6 +1,7 @@
 package pattern
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -29,6 +30,35 @@ type Options struct {
 	// are aggregated in enumeration order, so instance counts, total flow
 	// and cut-off behavior match the sequential search bit-for-bit.
 	Workers int
+	// Ctx, when non-nil, cancels the search: once Ctx is done the search
+	// stops promptly and returns Ctx.Err(). The Summary accumulated so far
+	// is returned alongside but is partial — callers must treat a non-nil
+	// error as "no result". Nil disables cancellation entirely.
+	Ctx context.Context
+}
+
+// cancelEvery is the stride between context polls in the search reduction
+// loops: frequent enough that a cancelled search stops within a bounded
+// slice of work, cheap enough to vanish next to a flow computation or even
+// a table-row scan.
+const cancelEvery = 256
+
+// canceller polls a context every cancelEvery calls. The first call always
+// polls, so a search under an already-expired deadline fails before any
+// work is done.
+type canceller struct {
+	ctx context.Context
+	n   int
+}
+
+func (c *canceller) err() error {
+	if c.ctx == nil {
+		return nil
+	}
+	if c.n++; c.n%cancelEvery != 1 {
+		return nil
+	}
+	return c.ctx.Err()
 }
 
 func (o Options) minPaths() int {
@@ -67,11 +97,11 @@ func SearchGB(n *tin.Network, p *Pattern, opts Options) (Summary, error) {
 	case KindRigid:
 		return searchRigidGB(n, p, opts)
 	case KindRelaxed2Cycles:
-		return searchRelaxedCyclesGB(n, p, opts, 2), nil
+		return searchRelaxedCyclesGB(n, p, opts, 2)
 	case KindRelaxed3Cycles:
-		return searchRelaxedCyclesGB(n, p, opts, 3), nil
+		return searchRelaxedCyclesGB(n, p, opts, 3)
 	case KindRelaxedChains:
-		return searchRelaxedChainsGB(n, p, opts), nil
+		return searchRelaxedChainsGB(n, p, opts)
 	default:
 		return Summary{}, fmt.Errorf("pattern %s: unknown kind", p.Name)
 	}
@@ -93,7 +123,7 @@ func searchRigidGB(n *tin.Network, p *Pattern, opts Options) (Summary, error) {
 // instance per anchor with at least one cycle (Section 5.3). Anchors are
 // processed independently (and concurrently when opts.Workers allows), with
 // results folded in ascending anchor order.
-func searchRelaxedCyclesGB(n *tin.Network, p *Pattern, opts Options, hops int) Summary {
+func searchRelaxedCyclesGB(n *tin.Network, p *Pattern, opts Options, hops int) (Summary, error) {
 	return searchAnchors(p.Name, n, opts, func(va tin.VertexID) []anchorGroup {
 		anchorFlow := 0.0
 		cycles := 0
@@ -132,7 +162,7 @@ func searchRelaxedCyclesGB(n *tin.Network, p *Pattern, opts Options, hops int) S
 // searchRelaxedChainsGB aggregates all 2-hop chains a→x→c per (a, c) pair,
 // one anchor at a time (concurrently across anchors when opts.Workers
 // allows), folding groups in ascending (anchor, end) order.
-func searchRelaxedChainsGB(n *tin.Network, p *Pattern, opts Options) Summary {
+func searchRelaxedChainsGB(n *tin.Network, p *Pattern, opts Options) (Summary, error) {
 	return searchAnchors(p.Name, n, opts, func(va tin.VertexID) []anchorGroup {
 		flows := make(map[tin.VertexID]float64) // end vertex -> aggregated flow
 		paths := make(map[tin.VertexID]int)
@@ -175,26 +205,26 @@ func SearchPB(n *tin.Network, t Tables, p *Pattern, opts Options) (Summary, erro
 		if t.C2 == nil {
 			return Summary{}, fmt.Errorf("pattern P1: no C2 table precomputed")
 		}
-		return scanTable(t.C2, p, opts), nil
+		return scanTable(t.C2, p, opts)
 	case "P2":
-		return scanTable(t.L2, p, opts), nil
+		return scanTable(t.L2, p, opts)
 	case "P3":
-		return scanTable(t.L3, p, opts), nil
+		return scanTable(t.L3, p, opts)
 	case "P4":
 		return searchP4PB(n, t, opts)
 	case "P5":
-		return searchP5PB(t, opts), nil
+		return searchP5PB(t, opts)
 	case "P6":
 		return searchP6PB(n, t, opts)
 	case "RP1":
 		if t.C2 == nil {
 			return Summary{}, fmt.Errorf("pattern RP1: no C2 table precomputed")
 		}
-		return groupChainTable(t.C2, p, opts), nil
+		return groupChainTable(t.C2, p, opts)
 	case "RP2":
-		return groupCycleTable(t.L2, p, opts, false), nil
+		return groupCycleTable(t.L2, p, opts, false)
 	case "RP3":
-		return groupCycleTable(t.L3, p, opts, true), nil
+		return groupCycleTable(t.L3, p, opts, true)
 	default:
 		return Summary{}, fmt.Errorf("pattern %s: no PB plan", p.Name)
 	}
@@ -202,9 +232,13 @@ func SearchPB(n *tin.Network, t Tables, p *Pattern, opts Options) (Summary, erro
 
 // scanTable handles the patterns that are exactly one table row per
 // instance (P1, P2, P3): a single scan with precomputed flows.
-func scanTable(t *Table, p *Pattern, opts Options) Summary {
+func scanTable(t *Table, p *Pattern, opts Options) (Summary, error) {
 	sum := Summary{Pattern: p.Name}
+	cc := canceller{ctx: opts.Ctx}
 	for i := range t.Rows {
+		if err := cc.err(); err != nil {
+			return sum, err
+		}
 		sum.Instances++
 		sum.TotalFlow += t.Rows[i].Flow
 		if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
@@ -212,14 +246,15 @@ func scanTable(t *Table, p *Pattern, opts Options) Summary {
 			break
 		}
 	}
-	return sum
+	return sum, nil
 }
 
 // searchP5PB merge-joins L2 and L3 on the anchor (both tables are grouped
 // by ascending anchor) and sums the two precomputed flows of each
 // vertex-disjoint pair — the "easy pattern" plan of Figure 8(a).
-func searchP5PB(t Tables, opts Options) Summary {
+func searchP5PB(t Tables, opts Options) (Summary, error) {
 	sum := Summary{Pattern: "P5"}
+	cc := canceller{ctx: opts.Ctx}
 	i, j := 0, 0
 	r2, r3 := t.L2.Rows, t.L3.Rows
 	for i < len(r2) && j < len(r3) {
@@ -237,6 +272,9 @@ func searchP5PB(t Tables, opts Options) Summary {
 		for i2 < len(r2) && r2[i2].Anchor() == a2 {
 			j2 := j
 			for j2 < len(r3) && r3[j2].Anchor() == a2 {
+				if err := cc.err(); err != nil {
+					return sum, err
+				}
 				b := r2[i2].Verts[1]
 				c, d := r3[j2].Verts[1], r3[j2].Verts[2]
 				if b != c && b != d {
@@ -244,7 +282,7 @@ func searchP5PB(t Tables, opts Options) Summary {
 					sum.TotalFlow += r2[i2].Flow + r3[j2].Flow
 					if opts.MaxInstances > 0 && sum.Instances >= opts.MaxInstances {
 						sum.Truncated = true
-						return sum
+						return sum, nil
 					}
 				}
 				j2++
@@ -258,7 +296,7 @@ func searchP5PB(t Tables, opts Options) Summary {
 			j++
 		}
 	}
-	return sum
+	return sum, nil
 }
 
 // searchP4PB pairs 3-hop cycles sharing both the anchor and the second
@@ -331,10 +369,15 @@ func searchP6PB(n *tin.Network, t Tables, opts Options) (Summary, error) {
 // disjoint set, rows are admitted greedily in table order, skipping rows
 // that reuse an intermediate vertex — the same deterministic rule the GB
 // searcher applies, so the two agree exactly.
-func groupCycleTable(t *Table, p *Pattern, opts Options, disjoint bool) Summary {
+func groupCycleTable(t *Table, p *Pattern, opts Options, disjoint bool) (Summary, error) {
 	sum := Summary{Pattern: p.Name}
+	cc := canceller{ctx: opts.Ctx}
+	var ctxErr error
 	t.Anchors(func(a tin.VertexID, rows []Row) {
-		if sum.Truncated {
+		if sum.Truncated || ctxErr != nil {
+			return
+		}
+		if ctxErr = cc.err(); ctxErr != nil {
 			return
 		}
 		flow := 0.0
@@ -370,14 +413,19 @@ func groupCycleTable(t *Table, p *Pattern, opts Options, disjoint bool) Summary 
 			}
 		}
 	})
-	return sum
+	return sum, ctxErr
 }
 
 // groupChainTable aggregates the chain table per (anchor, end) pair (RP1).
-func groupChainTable(t *Table, p *Pattern, opts Options) Summary {
+func groupChainTable(t *Table, p *Pattern, opts Options) (Summary, error) {
 	sum := Summary{Pattern: p.Name}
+	cc := canceller{ctx: opts.Ctx}
+	var ctxErr error
 	t.Anchors(func(a tin.VertexID, rows []Row) {
-		if sum.Truncated {
+		if sum.Truncated || ctxErr != nil {
+			return
+		}
+		if ctxErr = cc.err(); ctxErr != nil {
 			return
 		}
 		flows := make(map[tin.VertexID]float64)
@@ -403,5 +451,5 @@ func groupChainTable(t *Table, p *Pattern, opts Options) Summary {
 			}
 		}
 	})
-	return sum
+	return sum, ctxErr
 }

@@ -1,0 +1,228 @@
+// Chaos suite: end-to-end fault drills driven through the public HTTP
+// surface with the real flownet.Client — the same stack an operator runs.
+// It lives in an external test package because the root flownet package
+// (the client) imports internal/server; an internal test importing it back
+// would cycle.
+package server_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	flownet "flownet"
+	"flownet/internal/datagen"
+	"flownet/internal/fault"
+	"flownet/internal/server"
+	"flownet/internal/store"
+)
+
+// TestChaosWALFaultDegradesThenRepairs walks the full disk-fault lifecycle
+// over HTTP: a transient WAL write failure (a momentarily full disk) turns
+// into a 500 on the batch it hit, a retryable 503 + Retry-After on the
+// next write, degraded-but-alive /healthz, reads that keep answering — and
+// then self-repair: the queued snapshot lands once the fault clears, the
+// poison lifts, writes resume, and a restart recovers every batch the
+// server applied, including the one the WAL never saw.
+func TestChaosWALFaultDegradesThenRepairs(t *testing.T) {
+	dir := t.TempDir()
+	// Writes to the WAL: #1 is the creation header, #2 the first batch's
+	// record; from the third write on the "disk" fails — and keeps failing
+	// (repair snapshots start a fresh WAL, whose header write also matches),
+	// so the degraded window stays open exactly until the rule is disarmed.
+	walFault := &fault.Rule{Op: fault.OpWrite, Path: "wal-", After: 2}
+	inj := fault.NewInjector(nil, walFault)
+	st, err := store.Open(store.Config{Dir: dir, SyncEveryBatch: true, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := server.New(server.Config{CacheSize: 16, AllowIngest: true, Store: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := flownet.NewClient(ts.URL).WithHTTPClient(ts.Client())
+	ctx := context.Background()
+
+	if _, err := c.CreateNetwork(ctx, "n", 8); err != nil {
+		t.Fatal(err)
+	}
+	batch := func(t0 float64) flownet.IngestRequest {
+		return flownet.IngestRequest{Network: "n", Interactions: []flownet.IngestInteraction{
+			{From: 0, To: 1, Time: t0, Qty: 5},
+			{From: 1, To: 2, Time: t0 + 1, Qty: 3},
+		}}
+	}
+	if res, err := c.Ingest(ctx, batch(1)); err != nil || res.Appended != 2 {
+		t.Fatalf("healthy ingest: res=%+v err=%v", res, err)
+	}
+
+	// The injected write error fires mid-append: the batch is applied in
+	// memory but not logged. That must surface as an authoritative 500 —
+	// blindly retrying it would double-apply.
+	var he *flownet.HTTPError
+	_, err = c.Ingest(ctx, batch(10))
+	if !errors.As(err, &he) || he.Status != http.StatusInternalServerError {
+		t.Fatalf("ingest into the fault: want HTTP 500 (durability lost), got %v", err)
+	}
+
+	// The shard is now poisoned: nothing of this batch is applied, a
+	// repair is queued, and the write is safe to retry — 503 + Retry-After.
+	_, err = c.Ingest(ctx, batch(20))
+	if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("ingest on poisoned shard: want HTTP 503, got %v", err)
+	}
+	if he.RetryAfter <= 0 {
+		t.Fatalf("read-only shard must carry a Retry-After hint, got %v", he.RetryAfter)
+	}
+
+	// Reads keep serving the in-memory state while the shard is degraded.
+	fr, err := c.Flow(ctx, "n", 0, 2, nil)
+	if err != nil {
+		t.Fatalf("reads must keep serving on a poisoned shard: %v", err)
+	}
+	if !fr.Ok || fr.Flow <= 0 {
+		t.Fatalf("flow through ingested chain should exist: %+v", fr)
+	}
+
+	// Liveness stays true (the repair runs in-process; restarting would
+	// lose the unlogged batch), but status and reasons say degraded.
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Ok || h.Status != "degraded" {
+		t.Fatalf("want live but degraded healthz, got ok=%v status=%q", h.Ok, h.Status)
+	}
+	ni := h.Networks["n"]
+	if ni.Status != "degraded" || ni.WALError == "" || len(ni.Reasons) == 0 {
+		t.Fatalf("degraded network must carry reasons: %+v", ni)
+	}
+
+	// The disk comes back. Every rejected write queued a repair snapshot;
+	// with the fault lifted the next one lands and the shard heals without
+	// a restart. Poll — the repair runs on the background checkpointer.
+	walFault.Disarm()
+	deadline := time.Now().Add(10 * time.Second)
+	healed := false
+	for time.Now().Before(deadline) {
+		if _, err := c.Ingest(ctx, batch(20)); err == nil {
+			healed = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !healed {
+		t.Fatal("shard did not heal after the transient fault cleared")
+	}
+	if h, err = c.Healthz(ctx); err != nil || h.Status != "ok" || h.Networks["n"].WALError != "" {
+		t.Fatalf("healed shard must report ok: status=%q err=%v info=%+v", h.Status, err, h.Networks["n"])
+	}
+
+	// The repair snapshot was cut from memory, so a restart recovers all
+	// three batches — including the one whose WAL record was lost.
+	ts.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recovered := false
+	for _, sh := range st2.Shards() {
+		if sh.Name() == "n" {
+			recovered = true
+			if got := sh.NetStats().Interactions; got != 6 {
+				t.Fatalf("restart lost data: want 6 interactions, got %d", got)
+			}
+		}
+	}
+	if !recovered {
+		t.Fatal("network missing after restart")
+	}
+}
+
+// TestChaosShedBurstSurvivedByRetryingClient saturates a -max-inflight 1
+// server and checks both halves of the overload contract: raw requests see
+// an honest 503 + Retry-After, and the retrying flownet.Client rides the
+// burst out without surfacing any of it.
+func TestChaosShedBurstSurvivedByRetryingClient(t *testing.T) {
+	n := datagen.Prosper(datagen.Config{Vertices: 60, Seed: 3})
+	s := server.New(server.Config{MaxInFlight: 1})
+	if err := s.AddNetwork("n", n); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the single query slot deterministically: a batch POST whose
+	// body never finishes arriving blocks the handler inside the JSON
+	// decode — after admission control already let it in.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/flow/batch", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if resp, err := ts.Client().Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	if _, err := io.WriteString(pw, `{"network":"n","seeds":[0`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the slot is actually held: plain un-retried GETs flip
+	// to 503.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/flow?net=n&seed=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Fatal("shed 503 must carry Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never started shedding")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Free the slot shortly; until then every attempt sheds.
+	release := time.AfterFunc(50*time.Millisecond, func() {
+		io.WriteString(pw, `]}`)
+		pw.Close()
+	})
+	defer release.Stop()
+
+	c := flownet.NewClient(ts.URL).WithHTTPClient(ts.Client()).
+		WithRetryPolicy(flownet.RetryPolicy{MaxAttempts: 50, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond})
+	if _, err := c.SeedFlow(context.Background(), "n", 0, nil); err != nil {
+		t.Fatalf("retrying client should survive the shed burst transparently: %v", err)
+	}
+	<-done
+
+	// The burst is visible to the operator.
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Endpoints["/flow"].Shed == 0 {
+		t.Fatal("shed counter did not move")
+	}
+}

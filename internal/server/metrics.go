@@ -1,7 +1,10 @@
 package server
 
 import (
+	"context"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 )
@@ -12,6 +15,7 @@ type endpointMetrics struct {
 	requests  atomic.Uint64
 	errors    atomic.Uint64
 	cacheHits atomic.Uint64
+	shed      atomic.Uint64
 	latencyNs atomic.Int64
 }
 
@@ -20,6 +24,7 @@ func (m *endpointMetrics) snapshot() EndpointStats {
 		Requests:  m.requests.Load(),
 		Errors:    m.errors.Load(),
 		CacheHits: m.cacheHits.Load(),
+		Shed:      m.shed.Load(),
 	}
 	if s.Requests > 0 {
 		s.AvgLatencyMs = float64(m.latencyNs.Load()) / float64(s.Requests) / 1e6
@@ -28,29 +33,98 @@ func (m *endpointMetrics) snapshot() EndpointStats {
 }
 
 // statusRecorder captures the status code a handler wrote so the metrics
-// wrapper can count errors.
+// wrapper can count errors, and whether anything was written at all so the
+// panic recovery knows if a 500 can still be sent.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
 // instrument wraps a handler with the request / error / latency counters of
-// its route.
+// its route and with panic recovery: a panicking handler (a violated
+// invariant in the flow machinery, a malformed-input edge case) becomes a
+// logged 500 instead of killing the whole process — one poisoned query must
+// not take down every loaded network. The stack goes to the log; /stats
+// counts the panics.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	m := s.metrics[route]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				log.Printf("flownetd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if !rec.wrote {
+					rec.status = http.StatusInternalServerError
+					writeError(rec, http.StatusInternalServerError, "internal error (panic recovered; see server log)")
+				}
+				// Headers already sent: the connection is poisoned mid-body;
+				// there is nothing valid left to write. The deferred counters
+				// below still run.
+			}
+			m.requests.Add(1)
+			if rec.status >= 400 {
+				m.errors.Add(1)
+			}
+			m.latencyNs.Add(time.Since(t0).Nanoseconds())
+		}()
 		h(rec, r)
-		m.requests.Add(1)
-		if rec.status >= 400 {
-			m.errors.Add(1)
-		}
-		m.latencyNs.Add(time.Since(t0).Nanoseconds())
 	})
+}
+
+// retryAfterSeconds is the Retry-After hint on 503s (shed load, read-only
+// shards). Shed queries are retryable immediately once a slot frees; 1s is
+// the floor the header's integral format allows.
+const retryAfterSeconds = "1"
+
+// guard wraps a query handler (/flow, /flow/batch, /patterns) with the two
+// overload protections:
+//
+// Admission control: at most Config.MaxInFlight guarded requests execute at
+// once; excess load is shed immediately with 503 + Retry-After instead of
+// queueing. An unbounded queue converts overload into unbounded memory
+// growth and rising latency for everyone; shedding keeps the served
+// requests fast and gives clients an honest, retryable signal. Health and
+// stats endpoints are deliberately unguarded — they must answer precisely
+// when the server is saturated.
+//
+// Deadline: each admitted request runs under Config.QueryTimeout (when
+// set). Handlers thread the request context through batch and pattern
+// evaluation and poll it at stage boundaries; expiry surfaces as 504 (see
+// writeCtxError) and the partial result is never cached.
+func (s *Server) guard(route string, h http.HandlerFunc) http.HandlerFunc {
+	m := s.metrics[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				m.shed.Add(1)
+				w.Header().Set("Retry-After", retryAfterSeconds)
+				writeError(w, http.StatusServiceUnavailable,
+					"server at capacity (%d queries in flight); retry shortly", s.cfg.MaxInFlight)
+				return
+			}
+		}
+		if s.cfg.QueryTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
 }

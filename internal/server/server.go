@@ -45,6 +45,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flownet/internal/cache"
@@ -99,6 +100,17 @@ type Config struct {
 	// in-memory (non-durable) store; cmd/flownetd passes a durable one
 	// opened on -data-dir so the catalog survives restarts.
 	Store *store.Store
+	// QueryTimeout bounds each query request (/flow, /flow/batch,
+	// /patterns): the handler runs under a context with this deadline, and
+	// expiry answers 504 without caching the partial result. 0 disables
+	// per-request deadlines. Health, stats and ingest endpoints are not
+	// subject to it.
+	QueryTimeout time.Duration
+	// MaxInFlight bounds how many query requests execute concurrently;
+	// excess load is shed with 503 + Retry-After instead of queueing
+	// unboundedly. 0 disables admission control. Health and stats endpoints
+	// are never shed.
+	MaxInFlight int
 }
 
 // Server serves flow and pattern queries over the networks owned by its
@@ -112,6 +124,11 @@ type Server struct {
 	cache   *cache.Cache[string, []byte]
 	started time.Time
 	metrics map[string]*endpointMetrics
+	// inflight is the admission semaphore of the query routes (nil =
+	// unbounded); panics counts handler panics the recovery middleware
+	// converted into 500s.
+	inflight chan struct{}
+	panics   atomic.Uint64
 
 	// tables caches the lazily built PB path tables per shard. This is
 	// derived, rebuildable state — the store owns the networks themselves.
@@ -210,7 +227,7 @@ func (s *Server) tablesFor(sh *store.Shard) *tableCache {
 }
 
 // routes lists every instrumented endpoint, in /stats display order.
-var routes = []string{"/flow", "/flow/batch", "/patterns", "/ingest", "/networks", "/stats", "/healthz"}
+var routes = []string{"/flow", "/flow/batch", "/patterns", "/ingest", "/networks", "/stats", "/healthz", "/metrics"}
 
 // New creates a server over cfg.Store (or a fresh in-memory store when
 // nil). Every change the store accepts — from this server's /ingest or
@@ -237,15 +254,22 @@ func New(cfg Config) *Server {
 	for _, r := range routes {
 		s.metrics[r] = &endpointMetrics{}
 	}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
 	s.mux = http.NewServeMux()
-	s.mux.Handle("GET /flow", s.instrument("/flow", s.handleFlow))
-	s.mux.Handle("POST /flow/batch", s.instrument("/flow/batch", s.handleBatch))
-	s.mux.Handle("GET /patterns", s.instrument("/patterns", s.handlePatterns))
+	// Query routes carry the overload guard (admission + deadline); the
+	// control plane (ingest, health, stats, metrics) stays unguarded so it
+	// keeps answering while the query side is saturated.
+	s.mux.Handle("GET /flow", s.instrument("/flow", s.guard("/flow", s.handleFlow)))
+	s.mux.Handle("POST /flow/batch", s.instrument("/flow/batch", s.guard("/flow/batch", s.handleBatch)))
+	s.mux.Handle("GET /patterns", s.instrument("/patterns", s.guard("/patterns", s.handlePatterns)))
 	s.mux.Handle("GET /networks", s.instrument("/networks", s.handleNetworks))
 	s.mux.Handle("POST /networks", s.instrument("/networks", s.handleCreateNetwork))
 	s.mux.Handle("POST /ingest", s.instrument("/ingest", s.handleIngest))
 	s.mux.Handle("GET /stats", s.instrument("/stats", s.handleStats))
 	s.mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return s
 }
 
@@ -296,7 +320,19 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // lets cmd/flownetd (and its tests) bind port 0 and report the actual
 // address before serving.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	hs := &http.Server{Handler: s.Handler()}
+	// Read-side timeouts close slowloris connections (headers or bodies
+	// trickled byte-by-byte hold a goroutine and a file descriptor each);
+	// the idle timeout reclaims abandoned keep-alive connections. There is
+	// deliberately no WriteTimeout: a legitimate heavy query (a full batch
+	// over a large network) may stream its response for longer than any
+	// fixed cap, and the per-request QueryTimeout already bounds handler
+	// time where the operator wants it bounded.
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -361,18 +397,32 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // is empty) and writes it with the cache-status header. Bodies above
 // maxCachedBytes are served but not cached: the LRU is bounded in entry
 // count, so admitting huge batch responses would make its byte footprint
-// effectively unbounded.
-func (s *Server) respond(w http.ResponseWriter, key string, v any) {
+// effectively unbounded. A response produced under an already-expired or
+// cancelled request context is served but never cached either — a handler
+// that happened to finish right at the deadline must not plant a result
+// the timed-out path would have refused to compute.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, v any) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
 		return
 	}
 	body = append(body, '\n')
-	if key != "" && len(body) <= maxCachedBytes {
+	if key != "" && len(body) <= maxCachedBytes && r.Context().Err() == nil {
 		s.cache.Put(key, body)
 	}
 	writeRaw(w, http.StatusOK, body, "miss")
+}
+
+// writeCtxError maps a request context error to its HTTP status: deadline
+// expiry (the server's own QueryTimeout) is 504, a client disconnect is
+// the conventional 499.
+func writeCtxError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, "query timed out (server -query-timeout); narrow the query or raise the limit")
+		return
+	}
+	writeError(w, statusClientClosedRequest, "client closed request")
 }
 
 // serveCached replays a memoized response if one exists.
@@ -504,18 +554,29 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		if s.serveCached(w, "/flow", key) {
 			return
 		}
+		// The extraction and the solve are the expensive stages; the context
+		// is polled before each so an expired deadline fails fast (504)
+		// instead of burning a worker on an answer nobody is waiting for.
+		if err := r.Context().Err(); err != nil {
+			writeCtxError(w, err)
+			return
+		}
 		res := FlowResult{Network: sh.Name(), Query: "seed", Seed: int(seed)}
 		g, ok := n.ExtractSubgraph(seed, opts)
 		if ok {
 			if window {
 				g = g.RestrictWindow(from, to)
 			}
+			if err := r.Context().Err(); err != nil {
+				writeCtxError(w, err)
+				return
+			}
 			if err := s.solveFlow(g, &res); err != nil {
 				writeError(w, http.StatusInternalServerError, "%v", err)
 				return
 			}
 		}
-		s.respond(w, key, res)
+		s.respond(w, r, key, res)
 		return
 	}
 
@@ -537,18 +598,26 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	if s.serveCached(w, "/flow", key) {
 		return
 	}
+	if err := r.Context().Err(); err != nil {
+		writeCtxError(w, err)
+		return
+	}
 	res := FlowResult{Network: sh.Name(), Query: "pair", Source: int(src), Sink: int(snk)}
 	g, ok := n.FlowSubgraphBetween(src, snk)
 	if ok {
 		if window {
 			g = g.RestrictWindow(from, to)
 		}
+		if err := r.Context().Err(); err != nil {
+			writeCtxError(w, err)
+			return
+		}
 		if err := s.solveFlow(g, &res); err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 	}
-	s.respond(w, key, res)
+	s.respond(w, r, key, res)
 }
 
 // solveFlow runs the PreSim pipeline on g (or the time-expanded engine when
@@ -640,28 +709,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The request context aborts the remaining seeds when the client
-	// disconnects mid-batch; a cancelled batch is partial and must not be
-	// cached or reported as success.
+	// disconnects mid-batch or the server's QueryTimeout expires; a
+	// cancelled batch is partial and must not be cached or reported as
+	// success.
 	results, err := core.BatchSeedsContext(r.Context(), n, seeds, opts, s.cfg.Engine, s.workers(req.Workers))
 	if err != nil {
-		status := http.StatusInternalServerError
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = statusClientClosedRequest
+			writeCtxError(w, err)
+			return
 		}
-		writeError(w, status, "%v", err)
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	res := BatchResult{Network: sh.Name(), Results: make([]SeedFlowResult, len(results))}
-	for i, r := range results {
-		res.Results[i] = SeedFlowResult{Seed: int(r.Seed), Ok: r.Ok}
-		if r.Ok {
-			res.Results[i].Flow = r.Flow
-			res.Results[i].Class = r.Class.String()
+	for i, sr := range results {
+		res.Results[i] = SeedFlowResult{Seed: int(sr.Seed), Ok: sr.Ok}
+		if sr.Ok {
+			res.Results[i].Flow = sr.Flow
+			res.Results[i].Class = sr.Class.String()
 			res.Solved++
-			res.TotalFlow += r.Flow
+			res.TotalFlow += sr.Flow
 		}
 	}
-	s.respond(w, key, res)
+	s.respond(w, r, key, res)
 }
 
 // handlePatterns answers GET /patterns: one catalogue pattern search, PB
@@ -700,11 +770,19 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	if s.serveCached(w, "/patterns", key) {
 		return
 	}
+	// Polled before the (possibly expensive) lazy table build, and threaded
+	// into the search itself via Options.Ctx, so a deadline cuts a long
+	// enumeration short instead of letting it run to completion unobserved.
+	if err := r.Context().Err(); err != nil {
+		writeCtxError(w, err)
+		return
+	}
 	opts := pattern.Options{
 		MaxInstances: int64(maxInst),
 		Engine:       s.cfg.Engine,
 		MinPaths:     minPaths,
 		Workers:      s.workers(workers),
+		Ctx:          r.Context(),
 	}
 	var sum pattern.Summary
 	if mode == "pb" {
@@ -713,10 +791,14 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		sum, err = pattern.SearchGB(n, p, opts)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeCtxError(w, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.respond(w, key, PatternResult{
+	s.respond(w, r, key, PatternResult{
 		Network:   sh.Name(),
 		Pattern:   sum.Pattern,
 		Mode:      mode,
@@ -748,6 +830,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Recoveries: st.Recoveries,
 		},
 	}
+	res.Panics = s.panics.Load()
 	for _, route := range routes {
 		res.Endpoints[route] = s.metrics[route].snapshot()
 	}
@@ -757,18 +840,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // handleHealthz answers GET /healthz: liveness plus the per-network
 // durability state, so operators can watch checkpoint lag (WAL bytes that
 // a crash right now would have to replay, and when the last snapshot
-// landed).
+// landed). A network whose writes cannot currently be made durable —
+// poisoned WAL awaiting repair, failing background checkpoints — is
+// reported "degraded" with its reasons rather than flipping the whole
+// probe to unhealthy: reads keep serving and the repair runs in-process,
+// so a restart would only lose the in-memory batches the repair is about
+// to persist.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	res := HealthzResult{Ok: true, Networks: map[string]DurabilityInfo{}}
+	res := HealthzResult{Ok: true, Status: "ok", Networks: map[string]DurabilityInfo{}}
 	for _, sh := range s.store.Shards() {
 		d := sh.Durability()
 		info := DurabilityInfo{
+			Status:            "ok",
 			Durable:           d.Durable,
 			WALRecordsPending: d.WALRecordsPending,
 			WALBytesPending:   d.WALBytesPending,
 			BaseGeneration:    d.BaseGeneration,
 			CheckpointError:   d.CheckpointError,
 			WALError:          d.WALError,
+		}
+		if d.WALError != "" {
+			info.Reasons = append(info.Reasons, "WAL write failure; network is read-only until the repair snapshot lands: "+d.WALError)
+		}
+		if d.CheckpointError != "" {
+			info.Reasons = append(info.Reasons, "background checkpoint failing: "+d.CheckpointError)
+		}
+		if len(info.Reasons) > 0 {
+			info.Status = "degraded"
+			res.Status = "degraded"
 		}
 		if !d.LastSnapshot.IsZero() {
 			info.LastSnapshotUnixMs = d.LastSnapshot.UnixMilli()
@@ -886,9 +985,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ares, err := sh.Append(items, stream.Options{OnOutOfOrder: policy, Grow: req.Grow})
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, store.ErrDurability) {
+		if errors.Is(err, store.ErrReadOnly) {
+			// The shard is poisoned from an earlier WAL failure: nothing of
+			// this batch was applied, a repair snapshot is queued, and the
+			// write is safe to retry once it lands — a retryable 503, unlike
+			// the fresh durability failure below.
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", retryAfterSeconds)
+		} else if errors.Is(err, store.ErrDurability) {
 			// The batch is applied in memory but not on disk: the client
-			// must not treat it as acknowledged.
+			// must not treat it as acknowledged — and must not blindly
+			// retry either (a retry would double-apply), hence 500, not 503.
 			status = http.StatusInternalServerError
 		}
 		writeError(w, status, "%v", err)
@@ -904,7 +1011,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if req.Reindex {
 		rres, err := sh.Reindex()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "reindex: %v", err)
+			status := http.StatusInternalServerError
+			if errors.Is(err, store.ErrReadOnly) {
+				status = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", retryAfterSeconds)
+			}
+			writeError(w, status, "reindex: %v", err)
 			return
 		}
 		res.Appended += rres.Appended

@@ -163,6 +163,9 @@ type EndpointStats struct {
 	Requests  uint64 `json:"requests"`
 	Errors    uint64 `json:"errors"`
 	CacheHits uint64 `json:"cache_hits"`
+	// Shed counts requests rejected by admission control (503 + Retry-After
+	// when more than -max-inflight queries were already executing).
+	Shed uint64 `json:"shed,omitempty"`
 	// AvgLatencyMs is the mean wall-clock handler latency in milliseconds.
 	AvgLatencyMs float64 `json:"avg_latency_ms"`
 }
@@ -189,10 +192,19 @@ type StatsResult struct {
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 	Cache         cache.Stats              `json:"cache"`
 	Store         StoreStats               `json:"store"`
+	// Panics counts handler panics converted to 500s by the recovery
+	// middleware since startup. Any non-zero value deserves a look at the
+	// server log, which carries the stacks.
+	Panics uint64 `json:"panics,omitempty"`
 }
 
 // DurabilityInfo is one network's durability state in GET /healthz.
 type DurabilityInfo struct {
+	// Status is "ok", or "degraded" when the network is serving reads but
+	// cannot currently make writes durable (poisoned WAL awaiting repair,
+	// or a failing background checkpoint). Reasons lists why.
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
 	// Durable reports whether the network has a write-ahead log at all.
 	Durable bool `json:"durable"`
 	// WALRecordsPending / WALBytesPending measure the current WAL — the
@@ -214,7 +226,13 @@ type DurabilityInfo struct {
 
 // HealthzResult is the response of GET /healthz.
 type HealthzResult struct {
+	// Ok is liveness: the process is up and answering. It stays true while
+	// networks degrade — reads keep serving — so orchestrators must not
+	// restart a merely degraded instance (the repair runs in-process).
 	Ok bool `json:"ok"`
+	// Status is "ok", or "degraded" when at least one network is degraded;
+	// the per-network entries carry the reasons.
+	Status string `json:"status"`
 	// Networks maps each network to its durability state.
 	Networks map[string]DurabilityInfo `json:"networks,omitempty"`
 }

@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flownet/internal/fault"
 	"flownet/internal/stream"
 	"flownet/internal/tin"
 )
@@ -58,6 +59,16 @@ var ErrDuplicate = errors.New("store: network already exists")
 // ErrDurability wraps WAL failures on the write path: the mutation was
 // applied in memory but could not be made durable.
 var ErrDurability = errors.New("store: durability failure")
+
+// ErrReadOnly reports a mutation rejected because the shard is poisoned:
+// an earlier WAL failure left memory ahead of disk, and writes stay
+// rejected until a repair snapshot re-synchronizes the two. Nothing of
+// the rejected mutation was applied, so the write is safely retryable
+// once the (already queued) repair lands — the server maps it to 503 +
+// Retry-After, unlike a fresh durability failure (500, the batch IS in
+// memory). ErrReadOnly wraps ErrDurability, so errors.Is checks against
+// either sentinel match.
+var ErrReadOnly = fmt.Errorf("%w: shard is read-only pending repair", ErrDurability)
 
 // DefaultSnapshotEvery is the checkpoint threshold (WAL records per
 // network) used when Config.SnapshotEvery is 0.
@@ -77,6 +88,11 @@ type Config struct {
 	// checkpoint of a shard. 0 selects DefaultSnapshotEvery; negative
 	// disables automatic checkpoints (Shard.Snapshot still works).
 	SnapshotEvery int
+	// FS is the filesystem every disk operation goes through. Nil selects
+	// the real filesystem (fault.OS). Tests pass a fault.Injector here to
+	// drive the failure paths — write errors, short writes, fsync
+	// failures, latency — deterministically (see internal/fault).
+	FS fault.FS
 }
 
 // Stats are the store-wide durability counters, surfaced at /stats.
@@ -119,6 +135,7 @@ type Durability struct {
 type Store struct {
 	cfg           Config
 	snapshotEvery int
+	fs            fault.FS
 
 	mu     sync.RWMutex
 	shards map[string]*Shard
@@ -152,8 +169,12 @@ func Open(cfg Config) (*Store, error) {
 	s := &Store{
 		cfg:           cfg,
 		snapshotEvery: cfg.SnapshotEvery,
+		fs:            cfg.FS,
 		shards:        make(map[string]*Shard),
 		reserved:      make(map[string]bool),
+	}
+	if s.fs == nil {
+		s.fs = fault.OS{}
 	}
 	if s.snapshotEvery == 0 {
 		s.snapshotEvery = DefaultSnapshotEvery
@@ -161,13 +182,13 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.Dir == "" {
 		return s, nil
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o777); err != nil {
+	if err := s.fs.MkdirAll(cfg.Dir, 0o777); err != nil {
 		return nil, err
 	}
 	if err := s.lockDir(cfg.Dir); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(cfg.Dir)
+	entries, err := s.fs.ReadDir(cfg.Dir)
 	if err != nil {
 		s.unlockDir()
 		return nil, err
@@ -189,7 +210,7 @@ func Open(cfg Config) (*Store, error) {
 			// whole catalog — is the correct recovery. Directories that do
 			// not look like ours are left untouched (a mistyped -data-dir
 			// must never eat user data) and simply not registered.
-			cleanupGhostDir(filepath.Join(cfg.Dir, e.Name()))
+			s.cleanupGhostDir(filepath.Join(cfg.Dir, e.Name()))
 			continue
 		}
 		if err != nil {
@@ -312,9 +333,9 @@ func (s *Store) Create(name string, vertices int) (*Shard, error) {
 			s.unreserve(name)
 			return nil, err
 		}
-		w, err := createWAL(sh.walPath(1), walHeader{baseGen: 1, numV: uint64(vertices)}, nil)
+		w, err := createWAL(s.fs, sh.walPath(1), walHeader{baseGen: 1, numV: uint64(vertices)}, nil)
 		if err != nil {
-			cleanupGhostDir(sh.dir)
+			s.cleanupGhostDir(sh.dir)
 			s.unreserve(name)
 			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
 		}
@@ -334,7 +355,7 @@ func (s *Store) Create(name string, vertices int) (*Shard, error) {
 // foreign data; both must fail.)
 func (sh *Shard) makeDir() error {
 	sh.dir = sh.store.shardDir(sh.name)
-	if err := os.Mkdir(sh.dir, 0o777); err != nil {
+	if err := sh.store.fs.Mkdir(sh.dir, 0o777); err != nil {
 		if os.IsExist(err) {
 			return fmt.Errorf("store: network %q: directory %s already exists (case-insensitive name collision?): %w",
 				sh.name, sh.dir, ErrDuplicate)
@@ -373,14 +394,14 @@ func (s *Store) Add(name string, n *tin.Network) (*Shard, error) {
 			return nil, err
 		}
 		fail := func(err error) (*Shard, error) {
-			cleanupGhostDir(sh.dir)
+			s.cleanupGhostDir(sh.dir)
 			s.unreserve(name)
 			return nil, fmt.Errorf("%w: %v", ErrDurability, err)
 		}
-		if err := tin.SaveNetworkBinary(sh.snapshotPath(1), n); err != nil {
+		if err := sh.saveSnapshot(sh.snapshotPath(1), n); err != nil {
 			return fail(err)
 		}
-		w, err := createWAL(sh.walPath(1), walHeader{baseGen: 1, numV: uint64(n.NumVertices()), hasBase: true}, nil)
+		w, err := createWAL(s.fs, sh.walPath(1), walHeader{baseGen: 1, numV: uint64(n.NumVertices()), hasBase: true}, nil)
 		if err != nil {
 			return fail(err)
 		}
@@ -673,7 +694,7 @@ func (sh *Shard) writable() error {
 	}
 	if err := sh.getWALErr(); err != nil {
 		sh.queueCheckpoint()
-		return fmt.Errorf("%w: shard is read-only after a WAL write failure (repair snapshot queued): %v", ErrDurability, err)
+		return fmt.Errorf("%w (WAL write failure: %v; repair snapshot queued)", ErrReadOnly, err)
 	}
 	return nil
 }
@@ -746,7 +767,7 @@ func (sh *Shard) Snapshot() error {
 	var saveErr error
 	sh.live.View(func(n *tin.Network, g uint64) {
 		gen = g
-		saveErr = tin.SaveNetworkBinary(sh.snapshotPath(gen), n)
+		saveErr = sh.saveSnapshot(sh.snapshotPath(gen), n)
 	})
 	if saveErr != nil {
 		return saveErr
@@ -759,7 +780,7 @@ func (sh *Shard) Snapshot() error {
 	if pending := sh.live.PendingItems(); len(pending) > 0 {
 		firstRecord = encodeAppend(pending, stream.Options{OnOutOfOrder: stream.PolicyDefer})
 	}
-	w, err := createWAL(sh.walPath(gen), walHeader{
+	w, err := createWAL(sh.store.fs, sh.walPath(gen), walHeader{
 		baseGen: gen,
 		numV:    uint64(sh.live.NumVertices()),
 		hasBase: true,
@@ -774,8 +795,8 @@ func (sh *Shard) Snapshot() error {
 	oldWal.close()
 	if oldGen != gen {
 		// Best-effort cleanup; recovery removes leftovers too.
-		os.Remove(sh.snapshotPath(oldGen))
-		os.Remove(sh.walPath(oldGen))
+		sh.store.fs.Remove(sh.snapshotPath(oldGen))
+		sh.store.fs.Remove(sh.walPath(oldGen))
 	}
 	sh.lastSnapshot.Store(time.Now().UnixNano())
 	sh.store.snapshots.Add(1)
@@ -824,16 +845,16 @@ var errNoWAL = errors.New("no WAL found")
 // cleanupGhostDir removes a WAL-less shard directory, but only when it is
 // provably ours: every entry must match the store's on-disk layout and at
 // least one must be a wal-g*/snapshot-g* file. An empty directory is
-// removed with os.Remove, which cannot take anything with it. Anything
+// removed with Remove, which cannot take anything with it. Anything
 // else is left untouched — pointing -data-dir at a directory with
 // unrelated content must never delete it.
-func cleanupGhostDir(dir string) {
-	entries, err := os.ReadDir(dir)
+func (s *Store) cleanupGhostDir(dir string) {
+	entries, err := s.fs.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	if len(entries) == 0 {
-		os.Remove(dir)
+		s.fs.Remove(dir)
 		return
 	}
 	storeFiles := 0
@@ -852,8 +873,54 @@ func cleanupGhostDir(dir string) {
 		}
 	}
 	if storeFiles > 0 {
-		os.RemoveAll(dir)
+		s.fs.RemoveAll(dir)
 	}
+}
+
+// saveSnapshot atomically writes the network to path in the binary
+// snapshot format, through the store's FS: tmp write, fsync, rename,
+// directory fsync. It is the FS-routed equivalent of
+// tin.SaveNetworkBinary, so fault injection reaches snapshot IO too.
+func (sh *Shard) saveSnapshot(path string, n *tin.Network) error {
+	fs := sh.store.fs
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := tin.WriteNetworkBinary(f, n); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	fs.SyncDir(filepath.Dir(path))
+	return nil
+}
+
+// loadSnapshot reads a binary snapshot through the store's FS. Store
+// snapshots are always the plain binary format (saveSnapshot writes
+// nothing else), so no format sniffing is needed.
+func (sh *Shard) loadSnapshot(path string) (*tin.Network, error) {
+	f, err := sh.store.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tin.ReadNetworkBinary(f)
 }
 
 // recoverShard rebuilds one network from its directory: newest usable WAL,
@@ -863,7 +930,7 @@ func (s *Store) recoverShard(dir, name string) (*Shard, error) {
 	if err := validateName(name); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := s.fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -882,14 +949,14 @@ func (s *Store) recoverShard(dir, name string) (*Shard, error) {
 	sh := &Shard{store: s, name: name, dir: dir}
 	var lastErr error
 	for _, g := range walGens {
-		hdr, recs, goodOff, err := readWAL(sh.walPath(g))
+		hdr, recs, goodOff, err := readWAL(s.fs, sh.walPath(g))
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		var base *tin.Network
 		if hdr.hasBase {
-			base, err = tin.LoadNetwork(sh.snapshotPath(g))
+			base, err = sh.loadSnapshot(sh.snapshotPath(g))
 			if err != nil {
 				// Snapshot missing or unreadable: this pair is a torn
 				// checkpoint; fall back to the previous one.
@@ -920,7 +987,7 @@ func (s *Store) recoverShard(dir, name string) (*Shard, error) {
 			}
 			applied++
 		}
-		f, err := os.OpenFile(sh.walPath(g), os.O_RDWR, 0)
+		f, err := s.fs.OpenFile(sh.walPath(g), os.O_RDWR, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -937,7 +1004,7 @@ func (s *Store) recoverShard(dir, name string) (*Shard, error) {
 		sh.baseGen = hdr.baseGen
 		sh.publishWALStats()
 		if hdr.hasBase {
-			if fi, err := os.Stat(sh.snapshotPath(g)); err == nil {
+			if fi, err := s.fs.Stat(sh.snapshotPath(g)); err == nil {
 				sh.lastSnapshot.Store(fi.ModTime().UnixNano())
 			}
 		}
@@ -949,7 +1016,7 @@ func (s *Store) recoverShard(dir, name string) (*Shard, error) {
 			}
 			if strings.HasPrefix(n, "wal-g") || strings.HasPrefix(n, "snapshot-g") ||
 				strings.Contains(n, ".tmp") {
-				os.Remove(filepath.Join(dir, n))
+				s.fs.Remove(filepath.Join(dir, n))
 			}
 		}
 		return sh, nil

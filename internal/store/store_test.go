@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"flownet/internal/fault"
 	"flownet/internal/stream"
 	"flownet/internal/tin"
 )
@@ -782,6 +783,83 @@ func TestSnapshotRepairsPoisonSynchronously(t *testing.T) {
 	}
 }
 
+// TestInjectedWALFaultPoisonsAndRepairs: the same poison → repair cycle
+// driven entirely through Config.FS fault injection — no reaching into
+// shard internals. Also pins the error taxonomy the server maps to HTTP
+// statuses: the append that hits the fault is ErrDurability (the batch IS
+// in memory, not durable), and subsequent rejected writes are ErrReadOnly
+// (nothing applied, retryable after the queued repair).
+func TestInjectedWALFaultPoisonsAndRepairs(t *testing.T) {
+	dir := t.TempDir()
+	rule := &fault.Rule{Op: fault.OpWrite, Path: "wal-", After: 2, Times: 1}
+	s := openTestStore(t, Config{Dir: dir, FS: fault.NewInjector(nil, rule)})
+	sh, err := s.Create("live", 4) // WAL write #1: the header
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 1, Qty: 1}), stream.Options{}); err != nil {
+		t.Fatal(err) // WAL write #2: first record
+	}
+	// WAL write #3 hits the injected fault after the batch is applied in
+	// memory.
+	if _, err := sh.Append(items(stream.Item{From: 1, To: 2, Time: 2, Qty: 1}), stream.Options{}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("append through injected fault: err = %v, want ErrDurability", err)
+	} else if errors.Is(err, ErrReadOnly) {
+		t.Fatalf("the failing append itself must not be ErrReadOnly (its batch IS applied): %v", err)
+	}
+	if rule.Injections() != 1 {
+		t.Fatalf("rule fired %d times, want 1", rule.Injections())
+	}
+	// The poisoned shard rejects the next write with ErrReadOnly — which
+	// still matches ErrDurability for callers using the broad sentinel.
+	_, err = sh.Append(items(stream.Item{From: 2, To: 3, Time: 3, Qty: 1}), stream.Options{})
+	if !errors.Is(err, ErrReadOnly) || !errors.Is(err, ErrDurability) {
+		t.Fatalf("append on poisoned shard: err = %v, want ErrReadOnly (wrapping ErrDurability)", err)
+	}
+	// Reads keep serving the in-memory state, including the unlogged batch.
+	if got := sh.NetStats().Interactions; got != 2 {
+		t.Fatalf("poisoned shard serves %d interactions, want 2", got)
+	}
+	// The rejected write queued a repair; after it lands, writes resume and
+	// a restart reproduces the full state (fault rule is exhausted by now).
+	waitFor(t, "repair snapshot", func() bool { return sh.Durability().WALError == "" })
+	waitFor(t, "append after repair", func() bool {
+		_, err := sh.Append(items(stream.Item{From: 2, To: 3, Time: 4, Qty: 1}), stream.Options{})
+		return err == nil
+	})
+	before := stateOf(sh)
+	s.Close()
+	s2 := openTestStore(t, Config{Dir: dir})
+	sh2, _ := s2.Get("live")
+	requireSameState(t, "recovered after injected fault + repair", before, stateOf(sh2))
+}
+
+// TestInjectedSnapshotFaultFailsAdd: snapshot IO goes through the FS too —
+// a disk-full during Add's initial snapshot surfaces as ErrDurability and
+// leaves no ghost directory behind.
+func TestInjectedSnapshotFaultFailsAdd(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, Config{
+		Dir: dir,
+		FS:  fault.NewInjector(nil, &fault.Rule{Op: fault.OpSync, Path: "snapshot-"}),
+	})
+	n := tin.NewNetwork(3)
+	n.AddInteraction(0, 1, 1, 5)
+	n.Finalize()
+	if _, err := s.Add("net", n); !errors.Is(err, ErrDurability) {
+		t.Fatalf("Add with failing snapshot fsync: err = %v, want ErrDurability", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("failed Add leaked into the catalog: %v", names(s))
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Fatalf("failed Add left directory %q behind in the data dir", e.Name())
+		}
+	}
+}
+
 // TestCreateAddEnforceRecoveryBounds: anything the write path accepts must
 // be loadable by the recovery path, so Create/Add enforce the same vertex
 // bounds recoverShard and ReadNetworkBinary do.
@@ -808,7 +886,7 @@ func TestCreateAddEnforceRecoveryBounds(t *testing.T) {
 // corruption must be rejected at write time, not silently dropped at the
 // next recovery.
 func TestWALRejectsOversizedRecord(t *testing.T) {
-	w, err := createWAL(filepath.Join(t.TempDir(), "wal-g1.log"), walHeader{baseGen: 1, numV: 2}, nil)
+	w, err := createWAL(fault.OS{}, filepath.Join(t.TempDir(), "wal-g1.log"), walHeader{baseGen: 1, numV: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,9 +7,9 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 
+	"flownet/internal/fault"
 	"flownet/internal/stream"
 )
 
@@ -84,9 +84,10 @@ func decodeWALHeader(buf []byte) (walHeader, error) {
 	}, nil
 }
 
-// walFile is an open WAL with its append cursor.
+// walFile is an open WAL with its append cursor. The handle comes from
+// the store's FS, so fault injection reaches every WAL write and fsync.
 type walFile struct {
-	f       *os.File
+	f       fault.File
 	size    int64 // current end offset (== next record's start)
 	records int   // records in the file (replayed + appended since open)
 }
@@ -95,16 +96,16 @@ type walFile struct {
 // temporary file, fsyncs it, and renames it over path — the atomic commit
 // of a checkpoint. The returned walFile keeps the descriptor open for
 // appends; the rename does not disturb it.
-func createWAL(path string, hdr walHeader, firstRecord []byte) (*walFile, error) {
+func createWAL(fs fault.FS, path string, hdr walHeader, firstRecord []byte) (*walFile, error) {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fs.Create(tmp)
 	if err != nil {
 		return nil, err
 	}
 	w := &walFile{f: f}
 	fail := func(err error) (*walFile, error) {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return nil, err
 	}
 	if _, err := f.Write(hdr.encode()); err != nil {
@@ -119,10 +120,10 @@ func createWAL(path string, hdr walHeader, firstRecord []byte) (*walFile, error)
 	if err := f.Sync(); err != nil {
 		return fail(err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fs.Rename(tmp, path); err != nil {
 		return fail(err)
 	}
-	syncDir(filepath.Dir(path))
+	fs.SyncDir(filepath.Dir(path))
 	return w, nil
 }
 
@@ -171,8 +172,8 @@ type walRec struct {
 // holds. A torn or corrupt tail is not an error: reading stops there and
 // goodOff reports the end of the last intact record, so the caller can
 // truncate. Only a missing/corrupt header is a hard error.
-func readWAL(path string) (hdr walHeader, recs []walRec, goodOff int64, err error) {
-	f, err := os.Open(path)
+func readWAL(fs fault.FS, path string) (hdr walHeader, recs []walRec, goodOff int64, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return walHeader{}, nil, 0, err
 	}
@@ -316,13 +317,5 @@ func decodeRecord(payload []byte) (walRec, bool) {
 		return rec, true
 	default:
 		return walRec{}, false
-	}
-}
-
-// syncDir best-effort fsyncs a directory so a preceding rename is durable.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
 	}
 }
