@@ -33,6 +33,9 @@
 // the whole catalog — networks created over HTTP included — is recovered
 // from the directory on the next start. -wal-sync additionally fsyncs the
 // WAL per batch, surviving power loss rather than just process death.
+// -mmap serves binary snapshots zero-copy: recovery maps the snapshot file
+// read-only instead of decoding it, and the mapping is released the first
+// time the network is mutated.
 //
 // Exit codes: 0 after a clean shutdown, 1 on a runtime failure, 2 on a
 // usage error.
@@ -89,6 +92,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		dataDir     = fs.String("data-dir", "", "durable storage directory (per-network WAL + binary snapshots); empty = in-memory only")
 		walSync     = fs.Bool("wal-sync", false, "fsync the WAL after every accepted batch instead of only at checkpoints (requires -data-dir)")
 		snapEvery   = fs.Int("snapshot-every", 0, "WAL records per network that trigger a background snapshot (0 = default 256, negative = never; requires -data-dir)")
+		useMmap     = fs.Bool("mmap", false, "serve binary snapshots zero-copy via mmap instead of decoding them (released when a network is first mutated)")
 		queryTO     = fs.Duration("query-timeout", 0, "per-request deadline for /flow, /flow/batch and /patterns; expired queries answer 504 (0 = no deadline)")
 		maxInflight = fs.Int("max-inflight", 0, "maximum concurrently executing queries; excess load answers 503 + Retry-After (0 = unbounded)")
 	)
@@ -114,7 +118,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cli.ErrUsage
 	}
 
-	st, err := store.Open(store.Config{Dir: *dataDir, SyncEveryBatch: *walSync, SnapshotEvery: *snapEvery})
+	st, err := store.Open(store.Config{Dir: *dataDir, SyncEveryBatch: *walSync, SnapshotEvery: *snapEvery, Mmap: *useMmap})
 	if err != nil {
 		return fmt.Errorf("opening data directory %s: %w", *dataDir, err)
 	}
@@ -157,7 +161,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			continue
 		}
 		t0 := time.Now()
-		n, err := flownet.LoadNetwork(path)
+		load := flownet.LoadNetwork
+		if *useMmap {
+			load = flownet.LoadNetworkMmap
+		}
+		n, err := load(path)
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", path, err)
 		}

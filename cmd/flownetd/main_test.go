@@ -129,6 +129,9 @@ func startServer(t *testing.T, extraArgs ...string) (string, func()) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var stdout, stderr syncBuffer
 	args := append([]string{"-listen", "127.0.0.1:0"}, extraArgs...)
+	if os.Getenv("FLOWNET_TEST_MMAP") != "" {
+		args = append(args, "-mmap")
+	}
 	done := make(chan error, 1)
 	go func() { done <- run(ctx, args, &stdout, &stderr) }()
 
@@ -295,6 +298,9 @@ type child struct {
 func startChild(t *testing.T, args ...string) *child {
 	t.Helper()
 	args = append([]string{"-listen", "127.0.0.1:0"}, args...)
+	if os.Getenv("FLOWNET_TEST_MMAP") != "" {
+		args = append(args, "-mmap")
+	}
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(), "FLOWNETD_CHILD="+strings.Join(args, "\x1f"))
 	var stderr syncBuffer

@@ -280,6 +280,13 @@ func NewNetwork(numV int) *Network { return tin.NewNetwork(numV) }
 // (the format is sniffed), optionally gzip-compressed under a .gz name.
 func LoadNetwork(path string) (*Network, error) { return tin.LoadNetwork(path) }
 
+// LoadNetworkMmap is LoadNetwork with a zero-copy fast path: an
+// uncompressed FNTB v2 snapshot is mapped read-only into memory and served
+// in place instead of being decoded. Any other input — text, gzip, v1
+// binary, or a platform without mmap — falls back to a regular load. The
+// mapping is released automatically when the network is first mutated.
+func LoadNetworkMmap(path string) (*Network, error) { return tin.OpenNetworkMmap(path) }
+
 // SaveNetwork writes a network to a text (optionally .gz) interaction file.
 func SaveNetwork(path string, n *Network) error { return tin.SaveNetwork(path, n) }
 

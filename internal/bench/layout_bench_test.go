@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+
+	"flownet/internal/core"
+	"flownet/internal/datagen"
+	"flownet/internal/tin"
+)
+
+// Benchmarks behind the CSR layout refactor and the mmap load path
+// (BENCH_layout.json in CI): loading a snapshot zero-copy vs decoding it,
+// and traversing the flat adjacency vs a replica of the jagged layout the
+// CSR representation replaced.
+
+// BenchmarkLoadMmap is BenchmarkLoadBinary's zero-copy counterpart: the
+// same snapshot served by mapping the file instead of decoding it.
+func BenchmarkLoadMmap(b *testing.B) {
+	n := loadBenchNetwork(b)
+	path := filepath.Join(b.TempDir(), "net.tinb")
+	if err := tin.SaveNetworkBinary(path, n); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := tin.OpenNetworkMmap(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.NumInteractions() != n.NumInteractions() {
+			b.Fatalf("loaded %d interactions, want %d", m.NumInteractions(), n.NumInteractions())
+		}
+		m.Unmap()
+	}
+	b.ReportMetric(float64(n.NumInteractions()), "interactions/op")
+}
+
+// legacyNetwork replicates the layout the CSR refactor removed: jagged
+// per-vertex adjacency slices, one append-grown sequence per edge, and a
+// map-based pair index. It exists only as the benchmark baseline, and it
+// is built the way the old builder built it — interaction by interaction
+// in time order, growing each edge's slice independently — so its heap
+// scatter matches what a genuinely incrementally-built network had, not
+// an idealized contiguous copy.
+type legacyNetwork struct {
+	edges []legacyEdge
+	out   [][]tin.EdgeID
+	pairs map[int64]tin.EdgeID
+}
+
+type legacyEdge struct {
+	from, to tin.VertexID
+	seq      []tin.Interaction
+}
+
+func legacyFrom(n *tin.Network) *legacyNetwork {
+	l := &legacyNetwork{
+		edges: make([]legacyEdge, n.NumEdges()),
+		out:   make([][]tin.EdgeID, n.NumVertices()),
+		pairs: make(map[int64]tin.EdgeID, n.NumEdges()),
+	}
+	for e := 0; e < n.NumEdges(); e++ {
+		ed := n.Edge(tin.EdgeID(e))
+		l.edges[e] = legacyEdge{from: ed.From, to: ed.To}
+		l.out[ed.From] = append(l.out[ed.From], tin.EdgeID(e))
+		l.pairs[int64(ed.From)<<32|int64(uint32(ed.To))] = tin.EdgeID(e)
+	}
+	// Replay the interactions in canonical (time) order, appending to each
+	// edge's slice as the builder did.
+	type slot struct {
+		e tin.EdgeID
+		i int
+	}
+	byOrd := make([]slot, n.NumInteractions())
+	for e := 0; e < n.NumEdges(); e++ {
+		for i, ia := range n.Edge(tin.EdgeID(e)).Seq {
+			byOrd[ia.Ord] = slot{e: tin.EdgeID(e), i: i}
+		}
+	}
+	for _, s := range byOrd {
+		le := &l.edges[s.e]
+		le.seq = append(le.seq, n.Edge(s.e).Seq[s.i])
+	}
+	return l
+}
+
+// layoutWorkload is the traversal kernel both layouts run: a bounded BFS
+// from each seed over the out-adjacency, scanning every touched edge's
+// sequence. It is the memory-access pattern of extraction and the pattern
+// walks — the hot query loops — minus the algorithmics.
+const (
+	layoutSeeds = 64
+	layoutHops  = 3
+)
+
+func csrWorkload(n *tin.Network) float64 {
+	var sum float64
+	frontier := make([]tin.VertexID, 0, 256)
+	next := make([]tin.VertexID, 0, 256)
+	for seed := 0; seed < layoutSeeds; seed++ {
+		frontier = append(frontier[:0], tin.VertexID(seed))
+		for hop := 0; hop < layoutHops; hop++ {
+			next = next[:0]
+			for _, v := range frontier {
+				for _, e := range n.OutEdges(v) {
+					ed := n.Edge(e)
+					for _, ia := range ed.Seq {
+						sum += ia.Qty
+					}
+					next = append(next, ed.To)
+				}
+			}
+			frontier, next = next, frontier
+		}
+	}
+	return sum
+}
+
+func legacyWorkload(l *legacyNetwork) float64 {
+	var sum float64
+	frontier := make([]tin.VertexID, 0, 256)
+	next := make([]tin.VertexID, 0, 256)
+	for seed := 0; seed < layoutSeeds; seed++ {
+		frontier = append(frontier[:0], tin.VertexID(seed))
+		for hop := 0; hop < layoutHops; hop++ {
+			next = next[:0]
+			for _, v := range frontier {
+				for _, e := range l.out[v] {
+					ed := &l.edges[e]
+					for _, ia := range ed.seq {
+						sum += ia.Qty
+					}
+					next = append(next, ed.to)
+				}
+			}
+			frontier, next = next, frontier
+		}
+	}
+	return sum
+}
+
+// BenchmarkQueryCSRvsLegacy runs the same traversal kernel over the CSR
+// network and over the jagged/map replica, so the layout's cache behavior
+// is isolated from everything else.
+func BenchmarkQueryCSRvsLegacy(b *testing.B) {
+	n := loadBenchNetwork(b)
+	legacy := legacyFrom(n)
+	want := legacyWorkload(legacy)
+	if got := csrWorkload(n); got != want {
+		b.Fatalf("workloads disagree: csr %g, legacy %g", got, want)
+	}
+	b.Run("layout=csr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if csrWorkload(n) != want {
+				b.Fatal("workload drifted")
+			}
+		}
+	})
+	b.Run("layout=legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if legacyWorkload(legacy) != want {
+				b.Fatal("workload drifted")
+			}
+		}
+	})
+}
+
+// TestMmapLoadFasterThanDecode is the acceptance check behind the mmap
+// path: serving a snapshot zero-copy must beat fully decoding it. Same
+// best-of-3 shape as TestLoadBinaryFasterThanText.
+func TestMmapLoadFasterThanDecode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	n := datagen.Bitcoin(datagen.Config{Vertices: 3000, Seed: 11})
+	path := filepath.Join(t.TempDir(), "net.tinb")
+	if err := tin.SaveNetworkBinary(path, n); err != nil {
+		t.Fatal(err)
+	}
+	probe, err := tin.OpenNetworkMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := probe.MmapBacked()
+	probe.Unmap()
+	if !mapped {
+		t.Skip("mmap unsupported on this platform; loader falls back to decoding")
+	}
+	time := func(load func(string) (*tin.Network, error)) (best float64) {
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for j := 0; j < b.N; j++ {
+					m, err := load(path)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if m.NumInteractions() != n.NumInteractions() {
+						b.Fatal("short load")
+					}
+					m.Unmap()
+				}
+			})
+			if s := r.T.Seconds() / float64(r.N); best == 0 || s < best {
+				best = s
+			}
+		}
+		return best
+	}
+	decode, mmap := time(tin.LoadNetwork), time(tin.OpenNetworkMmap)
+	t.Logf("decode %.3fms, mmap %.3fms (%.1fx)", decode*1e3, mmap*1e3, decode/mmap)
+	if mmap >= decode {
+		t.Errorf("mmap load (%v) not faster than full decode (%v)", mmap, decode)
+	}
+}
+
+// TestQueryAllocationBudget guards the hot query path — extraction,
+// preprocessing, flow — against re-introducing per-interaction heap
+// allocations. The budget is a fixed count per query: scratch buffers and
+// the result graph are fine, O(interactions) allocation churn is not (the
+// corpus has ~10^4 interactions per extraction, two orders of magnitude above the budget).
+func TestQueryAllocationBudget(t *testing.T) {
+	n := loadBenchNetwork(t)
+	seed := tin.VertexID(0)
+	opts := tin.DefaultExtractOptions()
+	if _, ok := n.ExtractSubgraph(seed, opts); !ok {
+		t.Skip("seed extracts nothing")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		g, ok := n.ExtractSubgraph(seed, opts)
+		if !ok {
+			t.Fatal("extraction failed")
+		}
+		if _, err := core.PreSim(g, core.EngineTEG); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 500
+	if allocs > budget {
+		t.Errorf("query path allocates %.0f objects per run, budget %d", allocs, budget)
+	}
+	t.Logf("extract+preprocess+flow: %.0f allocs per query", allocs)
+}

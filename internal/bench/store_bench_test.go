@@ -20,8 +20,8 @@ var (
 	loadNet     *tin.Network
 )
 
-func loadBenchNetwork(b *testing.B) *tin.Network {
-	b.Helper()
+func loadBenchNetwork(tb testing.TB) *tin.Network {
+	tb.Helper()
 	loadNetOnce.Do(func() {
 		loadNet = datagen.Bitcoin(datagen.Config{Vertices: 5000, Seed: 11})
 	})

@@ -11,13 +11,19 @@ import (
 )
 
 // Graph is a static flow network stored as an adjacency list of paired
-// forward/residual arcs.
+// forward/residual arcs. Before solving, the per-vertex arc lists are
+// flattened into a CSR (offset + flat arc array) so the search loops scan
+// contiguous memory; the flatten is lazy and invalidated by AddArc.
 type Graph struct {
 	n     int
-	heads [][]int32 // arc indices per vertex
+	heads [][]int32 // arc indices per vertex (build representation)
 	to    []int32
 	cap   []float64 // residual capacity per arc
 	orig  []float64 // original capacity, for Flow()
+
+	csrOff []int32 // len n+1; csrArc[csrOff[v]:csrOff[v+1]] are v's arcs
+	csrArc []int32
+	dirty  bool // arcs added since the last flatten
 }
 
 // NewGraph creates a flow network with n vertices and no arcs.
@@ -47,7 +53,36 @@ func (g *Graph) AddArc(from, to int, capacity float64) int {
 	g.orig = append(g.orig, capacity, 0)
 	g.heads[from] = append(g.heads[from], int32(id))
 	g.heads[to] = append(g.heads[to], int32(id+1))
+	g.dirty = true
 	return id
+}
+
+// flatten compacts the jagged per-vertex arc lists into the CSR arrays,
+// preserving per-vertex insertion order so solver tie-breaking (and hence
+// every per-arc flow assignment) is identical to iteration over heads.
+func (g *Graph) flatten() {
+	if !g.dirty && g.csrOff != nil {
+		return
+	}
+	if g.csrOff == nil || len(g.csrOff) != g.n+1 {
+		g.csrOff = make([]int32, g.n+1)
+	} else {
+		for i := range g.csrOff {
+			g.csrOff[i] = 0
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		g.csrOff[v+1] = g.csrOff[v] + int32(len(g.heads[v]))
+	}
+	if cap(g.csrArc) < len(g.to) {
+		g.csrArc = make([]int32, len(g.to))
+	} else {
+		g.csrArc = g.csrArc[:len(g.to)]
+	}
+	for v := 0; v < g.n; v++ {
+		copy(g.csrArc[g.csrOff[v]:g.csrOff[v+1]], g.heads[v])
+	}
+	g.dirty = false
 }
 
 // Flow returns the flow currently routed through the forward arc id, i.e.
@@ -74,8 +109,9 @@ func (g *Graph) Dinic(s, t int) float64 {
 	if s == t {
 		panic("maxflow: source equals sink")
 	}
+	g.flatten()
 	level := make([]int32, g.n)
-	iter := make([]int, g.n)
+	iter := make([]int32, g.n)
 	queue := make([]int32, 0, g.n)
 	var total float64
 
@@ -88,7 +124,7 @@ func (g *Graph) Dinic(s, t int) float64 {
 		level[s] = 0
 		for qi := 0; qi < len(queue); qi++ {
 			v := queue[qi]
-			for _, a := range g.heads[v] {
+			for _, a := range g.csrArc[g.csrOff[v]:g.csrOff[v+1]] {
 				u := g.to[a]
 				if g.cap[a] > eps && level[u] < 0 {
 					level[u] = level[v] + 1
@@ -104,8 +140,8 @@ func (g *Graph) Dinic(s, t int) float64 {
 		if v == t {
 			return f
 		}
-		for ; iter[v] < len(g.heads[v]); iter[v]++ {
-			a := g.heads[v][iter[v]]
+		for ; iter[v] < g.csrOff[v+1]; iter[v]++ {
+			a := g.csrArc[iter[v]]
 			u := g.to[a]
 			if g.cap[a] <= eps || level[u] != level[v]+1 {
 				continue
@@ -126,9 +162,7 @@ func (g *Graph) Dinic(s, t int) float64 {
 	}
 
 	for bfs() {
-		for i := range iter {
-			iter[i] = 0
-		}
+		copy(iter, g.csrOff[:g.n])
 		for {
 			f := dfs(s, math.Inf(1))
 			if f <= eps {
@@ -150,6 +184,7 @@ func (g *Graph) EdmondsKarp(s, t int) float64 {
 	if s == t {
 		panic("maxflow: source equals sink")
 	}
+	g.flatten()
 	parent := make([]int32, g.n) // arc used to reach each vertex
 	queue := make([]int32, 0, g.n)
 	var total float64
@@ -162,7 +197,7 @@ func (g *Graph) EdmondsKarp(s, t int) float64 {
 		found := false
 		for qi := 0; qi < len(queue) && !found; qi++ {
 			v := queue[qi]
-			for _, a := range g.heads[v] {
+			for _, a := range g.csrArc[g.csrOff[v]:g.csrOff[v+1]] {
 				u := g.to[a]
 				if g.cap[a] > eps && parent[u] < 0 && int(u) != s {
 					parent[u] = a

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
@@ -20,6 +21,15 @@ import (
 	"flownet/internal/server"
 	"flownet/internal/store"
 )
+
+// chaosConfig applies the FLOWNET_TEST_MMAP CI hook: the chaos drills run
+// once more with zero-copy snapshot loading enabled.
+func chaosConfig(cfg store.Config) store.Config {
+	if os.Getenv("FLOWNET_TEST_MMAP") != "" {
+		cfg.Mmap = true
+	}
+	return cfg
+}
 
 // TestChaosWALFaultDegradesThenRepairs walks the full disk-fault lifecycle
 // over HTTP: a transient WAL write failure (a momentarily full disk) turns
@@ -36,7 +46,7 @@ func TestChaosWALFaultDegradesThenRepairs(t *testing.T) {
 	// so the degraded window stays open exactly until the rule is disarmed.
 	walFault := &fault.Rule{Op: fault.OpWrite, Path: "wal-", After: 2}
 	inj := fault.NewInjector(nil, walFault)
-	st, err := store.Open(store.Config{Dir: dir, SyncEveryBatch: true, FS: inj})
+	st, err := store.Open(chaosConfig(store.Config{Dir: dir, SyncEveryBatch: true, FS: inj}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +138,7 @@ func TestChaosWALFaultDegradesThenRepairs(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	st2, err := store.Open(store.Config{Dir: dir})
+	st2, err := store.Open(chaosConfig(store.Config{Dir: dir}))
 	if err != nil {
 		t.Fatal(err)
 	}

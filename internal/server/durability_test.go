@@ -2,15 +2,25 @@ package server
 
 import (
 	"net/http/httptest"
+	"os"
 	"testing"
 
 	"flownet/internal/store"
 )
 
+// withTestMmap applies the FLOWNET_TEST_MMAP CI hook: the durability suite
+// runs once more with zero-copy snapshot loading enabled.
+func withTestMmap(cfg store.Config) store.Config {
+	if os.Getenv("FLOWNET_TEST_MMAP") != "" {
+		cfg.Mmap = true
+	}
+	return cfg
+}
+
 // newDurableServer builds a server over a durable store rooted at dir.
 func newDurableServer(t *testing.T, dir string) (*Server, *httptest.Server, *store.Store) {
 	t.Helper()
-	st, err := store.Open(store.Config{Dir: dir, SyncEveryBatch: true})
+	st, err := store.Open(withTestMmap(store.Config{Dir: dir, SyncEveryBatch: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +70,7 @@ func TestServerOnDurableStore(t *testing.T) {
 	}
 
 	// "Restart": a fresh store + server on the same directory.
-	st2, err := store.Open(store.Config{Dir: dir})
+	st2, err := store.Open(withTestMmap(store.Config{Dir: dir}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -858,6 +858,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			BaseGeneration:    d.BaseGeneration,
 			CheckpointError:   d.CheckpointError,
 			WALError:          d.WALError,
+			Mmap:              d.Mmap,
 		}
 		if d.WALError != "" {
 			info.Reasons = append(info.Reasons, "WAL write failure; network is read-only until the repair snapshot lands: "+d.WALError)

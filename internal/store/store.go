@@ -93,6 +93,14 @@ type Config struct {
 	// drive the failure paths — write errors, short writes, fsync
 	// failures, latency — deterministically (see internal/fault).
 	FS fault.FS
+	// Mmap serves recovered snapshots zero-copy via mmap where the
+	// platform supports it (falling back to the regular decode elsewhere):
+	// recovery becomes a header check instead of a full read, and networks
+	// larger than RAM stay servable. The mapping is released as soon as
+	// the network is mutated (the CSR arrays are copied onto the heap
+	// first) or when the store closes. Snapshot open failures still go
+	// through FS, so fault injection keeps gating the load path.
+	Mmap bool
 }
 
 // Stats are the store-wide durability counters, surfaced at /stats.
@@ -127,6 +135,11 @@ type Durability struct {
 	// (memory is ahead of disk; a successful snapshot repairs it). Empty
 	// on a healthy shard.
 	WALError string
+	// Mmap reports whether the live network is currently served zero-copy
+	// from an mmap'd snapshot. It flips to false on the first mutation
+	// (the network detaches onto the heap) and is always false when
+	// Config.Mmap is off or the platform lacks mmap.
+	Mmap bool
 }
 
 // Store is a concurrency-safe catalog of live networks with optional
@@ -515,6 +528,11 @@ func (s *Store) Close() error {
 				sh.publishWALStats()
 			}
 			sh.mu.Unlock()
+			// Release any snapshot mapping. The exclusive lock guarantees
+			// no reader still holds references into the mapped memory; the
+			// store is specified as unusable after Close, so the network
+			// going with it is part of the contract.
+			sh.live.Exclusive(func(n *tin.Network) { n.Unmap() })
 		}
 		s.unlockDir()
 	})
@@ -826,6 +844,7 @@ func (sh *Shard) Durability() Durability {
 		d.CheckpointError = sh.ckErr.Error()
 	}
 	sh.ckErrMu.Unlock()
+	sh.live.View(func(n *tin.Network, _ uint64) { d.Mmap = n.MmapBacked() })
 	return d
 }
 
@@ -913,11 +932,19 @@ func (sh *Shard) saveSnapshot(path string, n *tin.Network) error {
 
 // loadSnapshot reads a binary snapshot through the store's FS. Store
 // snapshots are always the plain binary format (saveSnapshot writes
-// nothing else), so no format sniffing is needed.
+// nothing else), so no format sniffing is needed. With Config.Mmap set the
+// snapshot is served zero-copy instead of decoded; the store's FS still
+// performs (and can fail) the open, so fault injection gates this path
+// exactly like the copying one.
 func (sh *Shard) loadSnapshot(path string) (*tin.Network, error) {
 	f, err := sh.store.fs.Open(path)
 	if err != nil {
 		return nil, err
+	}
+	if sh.store.cfg.Mmap {
+		// The injected FS has approved the open; map the real file.
+		f.Close()
+		return tin.OpenNetworkMmap(path)
 	}
 	defer f.Close()
 	return tin.ReadNetworkBinary(f)

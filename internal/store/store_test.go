@@ -15,9 +15,19 @@ import (
 	"flownet/internal/tin"
 )
 
+// testConfig applies the FLOWNET_TEST_MMAP CI hook: when set, the whole
+// suite runs with zero-copy snapshot loading enabled, so every durability
+// property is also proven over the mmap path.
+func testConfig(cfg Config) Config {
+	if os.Getenv("FLOWNET_TEST_MMAP") != "" {
+		cfg.Mmap = true
+	}
+	return cfg
+}
+
 func openTestStore(t *testing.T, cfg Config) *Store {
 	t.Helper()
-	s, err := Open(cfg)
+	s, err := Open(testConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +157,7 @@ func TestCreateAppendRecover(t *testing.T) {
 // reopened store still has every acknowledged batch.
 func TestKillWithoutCloseRecovers(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(Config{Dir: dir})
+	s, err := Open(testConfig(Config{Dir: dir}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +345,7 @@ func TestTornTailIsDiscarded(t *testing.T) {
 	for name, mutate := range mutations {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
-			s, err := Open(Config{Dir: dir})
+			s, err := Open(testConfig(Config{Dir: dir}))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -447,7 +457,7 @@ func TestChangeNotifications(t *testing.T) {
 
 	// Reopen with a subscriber attached immediately after Open: replay
 	// already happened, so nothing fires.
-	s2, err := Open(Config{Dir: dir})
+	s2, err := Open(testConfig(Config{Dir: dir}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -683,13 +693,13 @@ func TestOpenReleasesLockOnError(t *testing.T) {
 	if err := os.MkdirAll(filepath.Join(dir, "%zz"), 0o777); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(Config{Dir: dir}); err == nil {
+	if _, err := Open(testConfig(Config{Dir: dir})); err == nil {
 		t.Fatal("Open with an undecodable shard directory succeeded")
 	}
 	if err := os.Remove(filepath.Join(dir, "%zz")); err != nil {
 		t.Fatal(err)
 	}
-	s, err := Open(Config{Dir: dir})
+	s, err := Open(testConfig(Config{Dir: dir}))
 	if err != nil {
 		t.Fatalf("retry after cleaning the bad directory: %v", err)
 	}
@@ -701,14 +711,14 @@ func TestOpenReleasesLockOnError(t *testing.T) {
 func TestDataDirLock(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestStore(t, Config{Dir: dir})
-	if _, err := Open(Config{Dir: dir}); err == nil {
+	if _, err := Open(testConfig(Config{Dir: dir})); err == nil {
 		t.Fatal("second Open on a locked data directory succeeded")
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 	// Close releases the lock.
-	s2, err := Open(Config{Dir: dir})
+	s2, err := Open(testConfig(Config{Dir: dir}))
 	if err != nil {
 		t.Fatalf("Open after Close: %v", err)
 	}

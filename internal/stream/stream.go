@@ -199,6 +199,18 @@ func (s *Network) View(fn func(n *tin.Network, gen uint64)) {
 	fn(n, gen)
 }
 
+// Exclusive runs fn with the live network write-locked: no reader holds a
+// reference into the network while fn runs. It exists for owner-side
+// teardown that invalidates the network's memory — releasing an mmap'd
+// snapshot on shard close — and must not be used to mutate the network
+// (mutations go through Append/Reindex/Grow, which also maintain the
+// generation).
+func (s *Network) Exclusive(fn func(n *tin.Network)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.net)
+}
+
 // Append extends the live network with a batch of interactions. Items must
 // be internally time-ordered and start at or after the network's latest
 // timestamp; out-of-order items are handled per opts.OnOutOfOrder. On any

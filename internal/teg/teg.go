@@ -22,29 +22,35 @@ import (
 type Expanded struct {
 	G    *maxflow.Graph
 	S, T int
-	// ArcOf maps each interaction (indexed by canonical Ord) to the static
-	// arc that carries it, so per-interaction transfer amounts can be read
-	// back after solving. Interactions of dead edges map to -1.
-	ArcOf map[int64]int
+	// ArcOf maps each interaction (indexed by canonical Ord, dense over
+	// [0, OrdBound)) to the static arc that carries it, so per-interaction
+	// transfer amounts can be read back after solving. Ords without a live
+	// interaction map to -1.
+	ArcOf []int32
 }
 
 // Build constructs the time-expanded static network of g. Buffer semantics
 // follow the canonical interaction order of package tin: an interaction can
 // forward only quantity deposited by interactions strictly earlier in that
 // order.
+//
+// All bookkeeping is dense: positions, slot bases and the arc map are flat
+// slices indexed by vertex id or canonical Ord — no per-event map lookups
+// on this hot path, and the node numbering is deterministic (vertex id
+// order) rather than map-iteration order.
 func Build(g *tin.Graph) *Expanded {
 	events := g.Events()
+	numV := g.NumV
+	ordBound := g.OrdBound()
 
 	// Assign, per intermediate vertex, a dense index to each incident
 	// event (its position in the vertex's own event timeline).
-	type slot struct{ base, count int } // base static-node id of state 0
-	slots := make(map[tin.VertexID]*slot)
-	posOf := make(map[int64][2]int) // Ord -> positions at (from, to); -1 if N/A
-	countOf := make(map[tin.VertexID]int)
+	posOf := make([][2]int32, ordBound) // Ord -> positions at (from, to); -1 if N/A
+	countOf := make([]int32, numV)
 	for _, ev := range events {
 		// An event incident to two intermediate vertices occupies one
 		// position in each vertex's own timeline.
-		pf, pt := -1, -1
+		pf, pt := int32(-1), int32(-1)
 		if ev.From != g.Source && ev.From != g.Sink {
 			pf = countOf[ev.From]
 			countOf[ev.From] = pf + 1
@@ -53,40 +59,48 @@ func Build(g *tin.Graph) *Expanded {
 			pt = countOf[ev.To]
 			countOf[ev.To] = pt + 1
 		}
-		posOf[ev.Ord] = [2]int{pf, pt}
+		posOf[ev.Ord] = [2]int32{pf, pt}
 	}
 
 	// Static node layout: 0 = super source, 1 = super sink, then per
-	// intermediate vertex its buffer states 0..count (count+1 nodes).
-	n := 2
-	for v, k := range countOf {
-		slots[v] = &slot{base: n, count: k}
-		n += k + 1
-	}
-	sg := maxflow.NewGraph(n)
-	// Holdover arcs between consecutive buffer states.
-	for _, sl := range slots {
-		for i := 0; i < sl.count; i++ {
-			sg.AddArc(sl.base+i, sl.base+i+1, math.Inf(1))
+	// intermediate vertex (in id order) its buffer states 0..count
+	// (count+1 nodes).
+	slotBase := make([]int32, numV)
+	n := int32(2)
+	for v := 0; v < numV; v++ {
+		slotBase[v] = -1
+		if countOf[v] > 0 {
+			slotBase[v] = n
+			n += countOf[v] + 1
 		}
 	}
-	arcOf := make(map[int64]int, len(events))
+	sg := maxflow.NewGraph(int(n))
+	// Holdover arcs between consecutive buffer states.
+	for v := 0; v < numV; v++ {
+		for i := int32(0); i < countOf[v]; i++ {
+			sg.AddArc(int(slotBase[v]+i), int(slotBase[v]+i+1), math.Inf(1))
+		}
+	}
+	arcOf := make([]int32, ordBound)
+	for i := range arcOf {
+		arcOf[i] = -1
+	}
 	for _, ev := range events {
-		var from, to int
+		var from, to int32
 		p := posOf[ev.Ord]
 		switch {
 		case ev.From == g.Source:
 			from = 0
 		default:
-			from = slots[ev.From].base + p[0] // buffer state before this event
+			from = slotBase[ev.From] + p[0] // buffer state before this event
 		}
 		switch {
 		case ev.To == g.Sink:
 			to = 1
 		default:
-			to = slots[ev.To].base + p[1] + 1 // buffer state after this event
+			to = slotBase[ev.To] + p[1] + 1 // buffer state after this event
 		}
-		arcOf[ev.Ord] = sg.AddArc(from, to, ev.Qty)
+		arcOf[ev.Ord] = int32(sg.AddArc(int(from), int(to), ev.Qty))
 	}
 	return &Expanded{G: sg, S: 0, T: 1, ArcOf: arcOf}
 }
@@ -115,7 +129,9 @@ func Transfers(g *tin.Graph) (total float64, byOrd map[int64]float64) {
 	total = ex.G.Dinic(ex.S, ex.T)
 	byOrd = make(map[int64]float64, len(ex.ArcOf))
 	for ord, arc := range ex.ArcOf {
-		byOrd[ord] = ex.G.Flow(arc)
+		if arc >= 0 {
+			byOrd[int64(ord)] = ex.G.Flow(int(arc))
+		}
 	}
 	return total, byOrd
 }

@@ -7,18 +7,21 @@ import (
 )
 
 // This file implements streaming append: extending a *finalized* network
-// with new interactions without rebuilding it from scratch. The paper
-// computes flow over a fixed network; a live service (internal/stream,
-// internal/server) must also absorb interactions that arrive after load.
+// with new interactions. The paper computes flow over a fixed network; a
+// live service (internal/stream, internal/server) must also absorb
+// interactions that arrive after load.
 //
-// The fast path relies on the canonical order being (Time, Ord): an
-// interaction whose timestamp is >= the latest timestamp already in the
-// network can be given the next free Ord and appended at the tail of its
+// The ordering argument relies on the canonical order being (Time, Ord):
+// an interaction whose timestamp is >= the latest timestamp already in the
+// network can be given the next free Ord and placed at the tail of its
 // edge sequence — every ordering invariant (Ord is the global canonical
 // rank, edge sequences sorted by Ord) is preserved without any re-sort.
-// Out-of-order arrivals cannot keep those invariants incrementally; they
-// are accepted only through AppendUnordered, which leaves the network
-// marked as needing a Reindex (the explicit full re-rank).
+// Because the finalized representation is an immutable CSR arena (csr.go),
+// an accepted batch re-finalizes the network: applyAppend rebuilds the
+// arena with the new interactions already in place. Out-of-order arrivals
+// cannot keep the invariants at all; they are accepted only through
+// AppendUnordered, which leaves the network marked as needing a Reindex
+// (the explicit full re-rank).
 
 // ErrOutOfOrder reports an interaction whose timestamp precedes the latest
 // timestamp already in the network. Callers that accept late data should
@@ -51,8 +54,20 @@ func (n *Network) GrowVertices(numV int) {
 	if numV <= n.numV {
 		return
 	}
-	n.out = append(n.out, make([][]EdgeID, numV-n.numV)...)
-	n.in = append(n.in, make([][]EdgeID, numV-n.numV)...)
+	if !n.finalized {
+		n.bOut = append(n.bOut, make([][]EdgeID, numV-n.numV)...)
+		n.bIn = append(n.bIn, make([][]EdgeID, numV-n.numV)...)
+		n.numV = numV
+		return
+	}
+	// Finalized: extend the offset arrays by repeating the terminal offset,
+	// so the new vertices read as isolated. On an mmap-backed network the
+	// offset slices have len == cap (see mmap.go), so append reallocates to
+	// the heap instead of writing to the mapping.
+	for i := n.numV; i < numV; i++ {
+		n.outOff = append(n.outOff, n.outOff[len(n.outOff)-1])
+		n.inOff = append(n.inOff, n.inOff[len(n.inOff)-1])
+	}
 	n.numV = numV
 }
 
@@ -67,31 +82,6 @@ func (n *Network) CheckItem(it BatchItem) error {
 		return fmt.Errorf("tin: invalid interaction (%v,%v)", it.Time, it.Qty)
 	}
 	return nil
-}
-
-// appendItem applies one validated interaction to a finalized network,
-// assigning it the next free canonical Ord. Self loops are skipped (they
-// cannot affect any flow between distinct vertices) and reported as false.
-func (n *Network) appendItem(it BatchItem) bool {
-	if it.From == it.To {
-		return false
-	}
-	key := pairKey(it.From, it.To)
-	id, ok := n.edgeIdx[key]
-	if !ok {
-		id = EdgeID(len(n.edges))
-		n.edges = append(n.edges, Edge{From: it.From, To: it.To})
-		n.edgeIdx[key] = id
-		n.out[it.From] = append(n.out[it.From], id)
-		n.in[it.To] = append(n.in[it.To], id)
-	}
-	n.edges[id].Seq = append(n.edges[id].Seq, Interaction{Time: it.Time, Qty: it.Qty, Ord: n.nextOrd})
-	n.nextOrd++
-	n.numIA++
-	if it.Time > n.maxTime {
-		n.maxTime = it.Time
-	}
-	return true
 }
 
 // Append extends a finalized network with one interaction, preserving the
@@ -135,12 +125,7 @@ func (n *Network) AppendBatch(items []BatchItem) (int, error) {
 		}
 		last = it.Time
 	}
-	appended := 0
-	for _, it := range items {
-		if n.appendItem(it) {
-			appended++
-		}
-	}
+	appended, _ := n.applyAppend(items)
 	return appended, nil
 }
 
@@ -162,15 +147,9 @@ func (n *Network) AppendUnordered(items []BatchItem) (int, error) {
 			return 0, fmt.Errorf("tin: batch item %d: %w", i, err)
 		}
 	}
-	appended := 0
-	for _, it := range items {
-		late := it.Time < n.maxTime
-		if n.appendItem(it) {
-			appended++
-			if late {
-				n.needsReindex = true
-			}
-		}
+	appended, anyLate := n.applyAppend(items)
+	if anyLate {
+		n.needsReindex = true
 	}
 	return appended, nil
 }
@@ -179,11 +158,17 @@ func (n *Network) AppendUnordered(items []BatchItem) (int, error) {
 // (Time, insertion index) rank assignment Finalize performs — integrating
 // any out-of-order interactions admitted by AppendUnordered, and clears the
 // NeedsReindex flag. Cost is a full sort over the interactions, so callers
-// should batch out-of-order arrivals and reindex once.
+// should batch out-of-order arrivals and reindex once. When no out-of-order
+// interactions are pending the canonical order is already correct and
+// Reindex is a no-op — in particular it never touches (or detaches) an
+// mmap-backed network that has not been mutated.
 func (n *Network) Reindex() {
 	if !n.finalized {
 		panic("tin: Reindex before Finalize")
 	}
-	n.reindex()
+	if !n.needsReindex {
+		return
+	}
+	n.csrReindex()
 	n.needsReindex = false
 }

@@ -6,39 +6,62 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 )
 
 // Binary network codec. The text format (io.go) is the interchange format;
 // this is the storage format: the durable store (internal/store) writes
 // network snapshots with it because parsing text — strconv on every field,
 // plus the full canonical re-rank in Finalize — dominates large-network
-// load times. The binary layout needs neither: records are fixed-width and
-// written in canonical order, so loading is one sequential read that
-// rebuilds the network already finalized.
+// load times.
 //
-// Layout (all fields little-endian):
+// Two versions exist:
+//
+// Version 1 (legacy, read-only): a header followed by numIA fixed-width
+// records { from u32, to u32, time f64, qty f64 } in canonical order. The
+// reader verifies the order and rebuilds the network from scratch.
+//
+// Version 2 (current, written by WriteNetworkBinary): a byte-for-byte
+// image of the finalized CSR layout (csr.go). After a 40-byte header the
+// file carries the flat arrays themselves, 8-byte aligned where their
+// element type needs it:
 //
 //	magic      [4]byte  "FNTB"
-//	version    uint16   1
-//	recordSize uint16   24 (self-describing: readers reject other widths)
-//	numV       uint64   vertex count
-//	numIA      uint64   interaction count (length prefix of the record array)
-//	records    numIA × { from uint32, to uint32, time float64, qty float64 }
+//	version    uint16   2
+//	recordSize uint16   24 (sizeof Interaction; readers reject other widths)
+//	numV       uint64
+//	numE       uint64
+//	numIA      uint64
+//	maxTime    float64
+//	edgeFrom   [numE]int32        edge table endpoints
+//	edgeTo     [numE]int32
+//	outOff     [numV+1]int32      CSR adjacency
+//	inOff      [numV+1]int32
+//	outAdj     [numE]int32
+//	inAdj      [numE]int32
+//	           pad to 8
+//	seqEnd     [numE]int64        exclusive end of edge e's arena run
+//	pairKeys   [numE]int64        sorted (from<<32|to) lookup index
+//	pairIDs    [numE]int32
+//	           pad to 8
+//	arena      [numIA]{ time f64, qty f64, ord i64 }  edge-grouped sequences
 //
-// Records appear in canonical (Time, insertion index) order; the reader
-// verifies the non-decreasing timestamps and assigns Ord = record index,
-// which reproduces the exact order a text round trip would re-derive.
-// Trailing bytes after the last record are ignored, so container formats
-// (the store's snapshot trailer, if one is ever added) can extend the file.
+// Because the sections are exactly the in-memory arrays, an mmap of the
+// file serves the network zero-copy (mmap.go): load is a header check plus
+// O(V+E) validation, never an O(numIA) decode. The copying reader
+// (ReadNetworkBinary) accepts both versions and fully validates untrusted
+// input; corrupt bytes of any kind yield an error, never a panic.
 //
 // LoadNetwork sniffs the magic, so binary and text files coexist behind one
 // loader — including gzip-compressed binary files under ".gz" names.
 
 const (
 	binaryMagic      = "FNTB"
-	binaryVersion    = 1
+	binaryVersion1   = 1
+	binaryVersion2   = 2
 	binaryRecordSize = 24
-	binaryHeaderSize = 4 + 2 + 2 + 8 + 8
+	binaryHeaderV1   = 4 + 2 + 2 + 8 + 8
+	binaryHeaderV2   = 4 + 2 + 2 + 8 + 8 + 8 + 8
 )
 
 // MaxVertices is the vertex count ceiling shared by every layer that
@@ -49,51 +72,244 @@ const (
 // network any layer accepts is a network every layer can load back.
 const MaxVertices = 1 << 24
 
-// WriteNetworkBinary writes the network to w in the binary snapshot format,
-// in canonical interaction order.
+// v2Layout holds the byte offsets of every section of a version-2 file,
+// derived purely from the header counts — writer, copying reader and mmap
+// loader all agree on it by construction.
+type v2Layout struct {
+	edgeFrom, edgeTo  int64
+	outOff, inOff     int64
+	outAdj, inAdj     int64
+	pad1              int64 // bytes of padding before seqEnd
+	seqEnd, pairKeys  int64
+	pairIDs           int64
+	pad2              int64 // bytes of padding before arena
+	arena             int64
+	total             int64
+	numV, numE, numIA int64
+}
+
+func pad8(off int64) int64 { return (8 - off%8) % 8 }
+
+func layoutV2(numV, numE, numIA int64) v2Layout {
+	var l v2Layout
+	l.numV, l.numE, l.numIA = numV, numE, numIA
+	off := int64(binaryHeaderV2)
+	l.edgeFrom = off
+	off += numE * 4
+	l.edgeTo = off
+	off += numE * 4
+	l.outOff = off
+	off += (numV + 1) * 4
+	l.inOff = off
+	off += (numV + 1) * 4
+	l.outAdj = off
+	off += numE * 4
+	l.inAdj = off
+	off += numE * 4
+	l.pad1 = pad8(off)
+	off += l.pad1
+	l.seqEnd = off
+	off += numE * 8
+	l.pairKeys = off
+	off += numE * 8
+	l.pairIDs = off
+	off += numE * 4
+	l.pad2 = pad8(off)
+	off += l.pad2
+	l.arena = off
+	off += numIA * binaryRecordSize
+	l.total = off
+	return l
+}
+
+// WriteNetworkBinary writes the network to w in the version-2 binary
+// snapshot format. The network's interactions must be in canonical order
+// (any finalized network that does not need a Reindex qualifies); the
+// written file is exactly the CSR memory image, so saving a network and
+// mmap'ing the file back reproduces it bit for bit.
 func WriteNetworkBinary(w io.Writer, n *Network) error {
+	numV, numE, numIA := int64(n.numV), int64(len(n.edges)), int64(n.numIA)
+	l := layoutV2(numV, numE, numIA)
 	bw := bufio.NewWriterSize(w, 1<<20)
-	var hdr [binaryHeaderSize]byte
+
+	maxTime := math.Inf(-1)
+	for e := range n.edges {
+		for _, ia := range n.edges[e].Seq {
+			if ia.Time > maxTime {
+				maxTime = ia.Time
+			}
+		}
+	}
+
+	var hdr [binaryHeaderV2]byte
 	copy(hdr[0:4], binaryMagic)
-	binary.LittleEndian.PutUint16(hdr[4:6], binaryVersion)
+	binary.LittleEndian.PutUint16(hdr[4:6], binaryVersion2)
 	binary.LittleEndian.PutUint16(hdr[6:8], binaryRecordSize)
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(n.numV))
-	binary.LittleEndian.PutUint64(hdr[16:24], uint64(n.numIA))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(numV))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(numE))
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(numIA))
+	binary.LittleEndian.PutUint64(hdr[32:40], math.Float64bits(maxTime))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	var rec [binaryRecordSize]byte
-	for _, r := range canonicalRows(n) {
-		binary.LittleEndian.PutUint32(rec[0:4], uint32(r.from))
-		binary.LittleEndian.PutUint32(rec[4:8], uint32(r.to))
-		binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(r.ia.Time))
-		binary.LittleEndian.PutUint64(rec[16:24], math.Float64bits(r.ia.Qty))
-		if _, err := bw.Write(rec[:]); err != nil {
+
+	wi32 := func(v int32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(v))
+		_, err := bw.Write(b[:])
+		return err
+	}
+	wi64 := func(v int64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		_, err := bw.Write(b[:])
+		return err
+	}
+
+	for e := range n.edges {
+		if err := wi32(n.edges[e].From); err != nil {
 			return err
+		}
+	}
+	for e := range n.edges {
+		if err := wi32(n.edges[e].To); err != nil {
+			return err
+		}
+	}
+	// Adjacency and pair sections are recomputed from the edge table rather
+	// than taken from the network's fields, so the writer also serves
+	// networks still in the builder representation.
+	outOff, inOff, outAdj, inAdj := buildAdjacencyArrays(n.numV, n.edges)
+	for _, v := range outOff {
+		if err := wi32(v); err != nil {
+			return err
+		}
+	}
+	for _, v := range inOff {
+		if err := wi32(v); err != nil {
+			return err
+		}
+	}
+	for _, v := range outAdj {
+		if err := wi32(v); err != nil {
+			return err
+		}
+	}
+	for _, v := range inAdj {
+		if err := wi32(v); err != nil {
+			return err
+		}
+	}
+	var zero [8]byte
+	if _, err := bw.Write(zero[:l.pad1]); err != nil {
+		return err
+	}
+	end := int64(0)
+	for e := range n.edges {
+		end += int64(len(n.edges[e].Seq))
+		if err := wi64(end); err != nil {
+			return err
+		}
+	}
+	pairKeys, pairIDs := buildPairArrays(n.edges)
+	for _, k := range pairKeys {
+		if err := wi64(k); err != nil {
+			return err
+		}
+	}
+	for _, id := range pairIDs {
+		if err := wi32(id); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(zero[:l.pad2]); err != nil {
+		return err
+	}
+	var rec [binaryRecordSize]byte
+	for e := range n.edges {
+		for _, ia := range n.edges[e].Seq {
+			binary.LittleEndian.PutUint64(rec[0:8], math.Float64bits(ia.Time))
+			binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(ia.Qty))
+			binary.LittleEndian.PutUint64(rec[16:24], uint64(ia.Ord))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadNetworkBinary parses the binary snapshot format. The returned network
-// is finalized; because records carry the canonical order on disk, no
-// re-rank is performed. Corrupt input of any kind yields an error, never a
-// panic.
+// buildAdjacencyArrays derives offset-based out/in adjacency from an edge
+// table; each vertex's run lists its edges ascending by id.
+func buildAdjacencyArrays(numV int, edges []Edge) (outOff, inOff []int32, outAdj, inAdj []EdgeID) {
+	outOff = make([]int32, numV+1)
+	inOff = make([]int32, numV+1)
+	for e := range edges {
+		outOff[edges[e].From+1]++
+		inOff[edges[e].To+1]++
+	}
+	for v := 0; v < numV; v++ {
+		outOff[v+1] += outOff[v]
+		inOff[v+1] += inOff[v]
+	}
+	outAdj = make([]EdgeID, len(edges))
+	inAdj = make([]EdgeID, len(edges))
+	outCur := make([]int32, numV)
+	inCur := make([]int32, numV)
+	copy(outCur, outOff[:numV])
+	copy(inCur, inOff[:numV])
+	for e := range edges {
+		f, t := edges[e].From, edges[e].To
+		outAdj[outCur[f]] = EdgeID(e)
+		outCur[f]++
+		inAdj[inCur[t]] = EdgeID(e)
+		inCur[t]++
+	}
+	return outOff, inOff, outAdj, inAdj
+}
+
+// buildPairArrays derives the sorted (from,to) lookup index from an edge
+// table.
+func buildPairArrays(edges []Edge) ([]int64, []EdgeID) {
+	keys := make([]int64, len(edges))
+	ids := make([]EdgeID, len(edges))
+	for e := range edges {
+		keys[e] = pairKey(edges[e].From, edges[e].To)
+		ids[e] = EdgeID(e)
+	}
+	sort.Sort(&pairSorter{keys, ids})
+	return keys, ids
+}
+
+// ReadNetworkBinary parses the binary snapshot format, either version. The
+// returned network is finalized; because records carry the canonical order
+// on disk, no re-rank is performed. Corrupt input of any kind yields an
+// error, never a panic.
 func ReadNetworkBinary(r io.Reader) (*Network, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	var hdr [binaryHeaderSize]byte
+	var hdr [binaryHeaderV1]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("tin: binary header: %w", err)
 	}
 	if string(hdr[0:4]) != binaryMagic {
 		return nil, fmt.Errorf("tin: not a binary network file (magic %q)", hdr[0:4])
 	}
-	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != binaryVersion {
-		return nil, fmt.Errorf("tin: unsupported binary version %d (want %d)", v, binaryVersion)
-	}
 	if rs := binary.LittleEndian.Uint16(hdr[6:8]); rs != binaryRecordSize {
 		return nil, fmt.Errorf("tin: unsupported binary record size %d (want %d)", rs, binaryRecordSize)
 	}
+	switch v := binary.LittleEndian.Uint16(hdr[4:6]); v {
+	case binaryVersion1:
+		return readBinaryV1(br, hdr)
+	case binaryVersion2:
+		return readBinaryV2(br, hdr)
+	default:
+		return nil, fmt.Errorf("tin: unsupported binary version %d", v)
+	}
+}
+
+// readBinaryV1 parses the legacy record-stream format; hdr is the full v1
+// header, already magic- and record-size-checked.
+func readBinaryV1(br *bufio.Reader, hdr [binaryHeaderV1]byte) (*Network, error) {
 	numV := binary.LittleEndian.Uint64(hdr[8:16])
 	numIA := binary.LittleEndian.Uint64(hdr[16:24])
 	if numV == 0 {
@@ -140,8 +356,199 @@ func ReadNetworkBinary(r io.Reader) (*Network, error) {
 	}
 	// Records were written — and verified above — in canonical order, so
 	// the insertion-order Ords assigned by AddInteraction are already the
-	// canonical ranks; skip the Finalize re-rank.
+	// canonical ranks; skip the Finalize re-rank and compact directly.
 	n.finalized = true
 	n.maxTime = lastTime
+	n.buildCSR()
 	return n, nil
+}
+
+// readBinaryV2 parses the CSR-image format from a stream, copying every
+// section onto the heap and fully validating it — the trust model of a
+// generic loader, as opposed to the mmap path which only light-checks a
+// snapshot the store itself wrote. Section sizes are implied by the header
+// counts, so a lying header fails at EOF instead of committing memory:
+// every section is read in bounded chunks.
+func readBinaryV2(br *bufio.Reader, hdr [binaryHeaderV1]byte) (*Network, error) {
+	var ext [binaryHeaderV2 - binaryHeaderV1]byte
+	if _, err := io.ReadFull(br, ext[:]); err != nil {
+		return nil, fmt.Errorf("tin: binary v2 header: %w", err)
+	}
+	numV := int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	numE := int64(binary.LittleEndian.Uint64(hdr[16:24]))
+	numIA := int64(binary.LittleEndian.Uint64(ext[0:8]))
+	maxTime := math.Float64frombits(binary.LittleEndian.Uint64(ext[8:16]))
+	if numV <= 0 {
+		return nil, fmt.Errorf("tin: binary network with zero vertices")
+	}
+	if numV > MaxVertices {
+		return nil, fmt.Errorf("tin: binary vertex count %d exceeds limit %d", numV, MaxVertices)
+	}
+	if numE < 0 || numIA < 0 || numE > numIA {
+		return nil, fmt.Errorf("tin: binary v2 counts inconsistent (%d edges, %d interactions)", numE, numIA)
+	}
+	l := layoutV2(numV, numE, numIA)
+
+	edgeFrom, err := readI32Section(br, numE, "edgeFrom")
+	if err != nil {
+		return nil, err
+	}
+	edgeTo, err := readI32Section(br, numE, "edgeTo")
+	if err != nil {
+		return nil, err
+	}
+	// The adjacency and pair sections are redundant with the edge table;
+	// the untrusted path skips and rebuilds them rather than verifying.
+	skip := (numV+1)*4*2 + numE*4*2 + l.pad1
+	if _, err := io.CopyN(io.Discard, br, skip); err != nil {
+		return nil, fmt.Errorf("tin: binary v2 adjacency: %w", err)
+	}
+	seqEnd, err := readI64Section(br, numE, "seqEnd")
+	if err != nil {
+		return nil, err
+	}
+	skip = numE*8 + numE*4 + l.pad2
+	if _, err := io.CopyN(io.Discard, br, skip); err != nil {
+		return nil, fmt.Errorf("tin: binary v2 pair index: %w", err)
+	}
+	arena, err := readArenaSection(br, numIA)
+	if err != nil {
+		return nil, err
+	}
+
+	// Validate the edge table against the arena.
+	prev := int64(0)
+	for e := int64(0); e < numE; e++ {
+		f, t := edgeFrom[e], edgeTo[e]
+		if int64(f) < 0 || int64(f) >= numV || int64(t) < 0 || int64(t) >= numV {
+			return nil, fmt.Errorf("tin: binary v2 edge %d: vertex (%d,%d) out of range [0,%d)", e, f, t, numV)
+		}
+		if f == t {
+			return nil, fmt.Errorf("tin: binary v2 edge %d: self loop on vertex %d", e, f)
+		}
+		if seqEnd[e] <= prev || seqEnd[e] > numIA {
+			return nil, fmt.Errorf("tin: binary v2 edge %d: sequence end %d out of order (prev %d, total %d)", e, seqEnd[e], prev, numIA)
+		}
+		prev = seqEnd[e]
+	}
+	if prev != numIA {
+		return nil, fmt.Errorf("tin: binary v2 edge table covers %d of %d interactions", prev, numIA)
+	}
+	keys := make([]int64, numE)
+	for e := int64(0); e < numE; e++ {
+		keys[e] = pairKey(edgeFrom[e], edgeTo[e])
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	for e := int64(1); e < numE; e++ {
+		if keys[e] == keys[e-1] {
+			return nil, fmt.Errorf("tin: binary v2 duplicate edge (%d,%d)", keys[e]>>32, int32(keys[e])) //nolint:gosec
+		}
+	}
+	// Ord values must be a permutation of [0, numIA) under which timestamps
+	// are non-decreasing and each edge run is ascending — exactly the
+	// canonical-order invariants Finalize establishes.
+	timeByOrd := make([]float64, numIA)
+	seenOrd := make([]bool, numIA)
+	e := int64(0)
+	lastOrd := int64(-1)
+	for i := int64(0); i < numIA; i++ {
+		for i >= seqEnd[e] {
+			e++
+			lastOrd = -1
+		}
+		ia := arena[i]
+		if ia.Qty < 0 || math.IsNaN(ia.Qty) || math.IsInf(ia.Qty, 0) || math.IsNaN(ia.Time) || math.IsInf(ia.Time, 0) {
+			return nil, fmt.Errorf("tin: binary v2 interaction %d: invalid (%v,%v)", i, ia.Time, ia.Qty)
+		}
+		if ia.Ord < 0 || ia.Ord >= numIA || seenOrd[ia.Ord] {
+			return nil, fmt.Errorf("tin: binary v2 interaction %d: ord %d not a permutation of [0,%d)", i, ia.Ord, numIA)
+		}
+		seenOrd[ia.Ord] = true
+		timeByOrd[ia.Ord] = ia.Time
+		if ia.Ord <= lastOrd {
+			return nil, fmt.Errorf("tin: binary v2 interaction %d: edge sequence not in canonical order", i)
+		}
+		lastOrd = ia.Ord
+	}
+	for o := int64(1); o < numIA; o++ {
+		if timeByOrd[o] < timeByOrd[o-1] {
+			return nil, fmt.Errorf("tin: binary v2 ord %d: time %v precedes %v (canonical order violated)", o, timeByOrd[o], timeByOrd[o-1])
+		}
+	}
+	wantMax := math.Inf(-1)
+	if numIA > 0 {
+		wantMax = timeByOrd[numIA-1]
+	}
+	if maxTime != wantMax && !(math.IsInf(maxTime, -1) && math.IsInf(wantMax, -1)) {
+		return nil, fmt.Errorf("tin: binary v2 header maxTime %v does not match records (%v)", maxTime, wantMax)
+	}
+
+	n := &Network{
+		numV:      int(numV),
+		numIA:     int(numIA),
+		nextOrd:   numIA,
+		finalized: true,
+		maxTime:   wantMax,
+		arena:     arena,
+	}
+	n.edges = make([]Edge, numE)
+	off := int64(0)
+	for e := int64(0); e < numE; e++ {
+		end := seqEnd[e]
+		n.edges[e] = Edge{
+			From:      edgeFrom[e],
+			To:        edgeTo[e],
+			Seq:       arena[off:end:end],
+			canonical: true,
+		}
+		off = end
+	}
+	n.buildAdjacency()
+	n.buildPairIndex()
+	return n, nil
+}
+
+// readI32Section reads count little-endian int32 values, growing the
+// result in bounded chunks so a lying count fails at EOF.
+func readI32Section(br *bufio.Reader, count int64, name string) ([]int32, error) {
+	out := make([]int32, 0, min(count, 1<<16))
+	var b [4]byte
+	for i := int64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, fmt.Errorf("tin: binary v2 %s[%d]: %w", name, i, err)
+		}
+		out = append(out, int32(binary.LittleEndian.Uint32(b[:])))
+	}
+	return out, nil
+}
+
+// readI64Section reads count little-endian int64 values with the same
+// bounded-growth strategy as readI32Section.
+func readI64Section(br *bufio.Reader, count int64, name string) ([]int64, error) {
+	out := make([]int64, 0, min(count, 1<<16))
+	var b [8]byte
+	for i := int64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, fmt.Errorf("tin: binary v2 %s[%d]: %w", name, i, err)
+		}
+		out = append(out, int64(binary.LittleEndian.Uint64(b[:])))
+	}
+	return out, nil
+}
+
+// readArenaSection reads count interaction records with bounded growth.
+func readArenaSection(br *bufio.Reader, count int64) ([]Interaction, error) {
+	out := make([]Interaction, 0, min(count, 1<<16))
+	var rec [binaryRecordSize]byte
+	for i := int64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("tin: binary v2 arena[%d]: %w", i, err)
+		}
+		out = append(out, Interaction{
+			Time: math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8])),
+			Qty:  math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16])),
+			Ord:  int64(binary.LittleEndian.Uint64(rec[16:24])),
+		})
+	}
+	return out, nil
 }

@@ -134,29 +134,75 @@ func corruptBinary(t *testing.T, mutate func([]byte) []byte) []byte {
 }
 
 func TestBinaryCorruptInputsError(t *testing.T) {
-	putU64 := func(b []byte, off int, v uint64) []byte {
+	putU64 := func(b []byte, off int64, v uint64) []byte {
 		binary.LittleEndian.PutUint64(b[off:off+8], v)
 		return b
 	}
+	// ioTestNetwork has 5 vertices, 5 edges and 6 interactions; its v2
+	// section offsets pinpoint the fields each case corrupts.
+	l := layoutV2(5, 5, 6)
 	for name, data := range map[string][]byte{
-		"empty":          {},
-		"short header":   []byte(binaryMagic),
-		"bad magic":      corruptBinary(t, func(b []byte) []byte { b[0] = 'X'; return b }),
-		"bad version":    corruptBinary(t, func(b []byte) []byte { b[4] = 99; return b }),
-		"bad rec size":   corruptBinary(t, func(b []byte) []byte { b[6] = 23; return b }),
-		"zero vertices":  corruptBinary(t, func(b []byte) []byte { return putU64(b, 8, 0) }),
-		"huge vertices":  corruptBinary(t, func(b []byte) []byte { return putU64(b, 8, 1<<40) }),
-		"lying count":    corruptBinary(t, func(b []byte) []byte { return putU64(b, 16, 1<<30) }),
-		"truncated":      corruptBinary(t, func(b []byte) []byte { return b[:len(b)-7] }),
-		"vertex range":   corruptBinary(t, func(b []byte) []byte { binary.LittleEndian.PutUint32(b[binaryHeaderSize:], 1<<30); return b }),
-		"self loop":      corruptBinary(t, func(b []byte) []byte { copy(b[binaryHeaderSize:], b[binaryHeaderSize+4:binaryHeaderSize+8]); return b }),
-		"negative qty":   corruptBinary(t, func(b []byte) []byte { return putU64(b, binaryHeaderSize+16, math.Float64bits(-1)) }),
-		"nan time":       corruptBinary(t, func(b []byte) []byte { return putU64(b, binaryHeaderSize+8, math.Float64bits(math.NaN())) }),
-		"order violated": corruptBinary(t, func(b []byte) []byte { return putU64(b, binaryHeaderSize+8, math.Float64bits(1e9)) }),
+		"empty":         {},
+		"short header":  []byte(binaryMagic),
+		"bad magic":     corruptBinary(t, func(b []byte) []byte { b[0] = 'X'; return b }),
+		"bad version":   corruptBinary(t, func(b []byte) []byte { b[4] = 99; return b }),
+		"bad rec size":  corruptBinary(t, func(b []byte) []byte { b[6] = 23; return b }),
+		"zero vertices": corruptBinary(t, func(b []byte) []byte { return putU64(b, 8, 0) }),
+		"huge vertices": corruptBinary(t, func(b []byte) []byte { return putU64(b, 8, 1<<40) }),
+		"lying edges":   corruptBinary(t, func(b []byte) []byte { return putU64(b, 16, 1<<30) }),
+		"lying count":   corruptBinary(t, func(b []byte) []byte { return putU64(b, 24, 1<<30) }),
+		"truncated":     corruptBinary(t, func(b []byte) []byte { return b[:len(b)-7] }),
+		"vertex range":  corruptBinary(t, func(b []byte) []byte { binary.LittleEndian.PutUint32(b[l.edgeFrom:], 1<<30); return b }),
+		"self loop":     corruptBinary(t, func(b []byte) []byte { copy(b[l.edgeFrom:l.edgeFrom+4], b[l.edgeTo:l.edgeTo+4]); return b }),
+		"duplicate edge": corruptBinary(t, func(b []byte) []byte {
+			copy(b[l.edgeTo+4:l.edgeTo+8], b[l.edgeTo:l.edgeTo+4])
+			copy(b[l.edgeFrom+4:l.edgeFrom+8], b[l.edgeFrom:l.edgeFrom+4])
+			return b
+		}),
+		"seq not cover":  corruptBinary(t, func(b []byte) []byte { return putU64(b, l.seqEnd, 0) }),
+		"negative qty":   corruptBinary(t, func(b []byte) []byte { return putU64(b, l.arena+8, math.Float64bits(-1)) }),
+		"nan time":       corruptBinary(t, func(b []byte) []byte { return putU64(b, l.arena, math.Float64bits(math.NaN())) }),
+		"order violated": corruptBinary(t, func(b []byte) []byte { return putU64(b, l.arena, math.Float64bits(1e9)) }),
+		"ord duplicate": corruptBinary(t, func(b []byte) []byte {
+			return putU64(b, l.arena+16, binary.LittleEndian.Uint64(b[l.arena+binaryRecordSize+16:]))
+		}),
+		"ord range":   corruptBinary(t, func(b []byte) []byte { return putU64(b, l.arena+16, 1<<40) }),
+		"bad maxtime": corruptBinary(t, func(b []byte) []byte { return putU64(b, 32, math.Float64bits(12345)) }),
 	} {
 		if _, err := ReadNetworkBinary(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s: ReadNetworkBinary accepted corrupt input", name)
 		}
+	}
+}
+
+// TestBinaryReadsV1 pins backward compatibility: a version-1 file (the
+// record-stream format older stores wrote) still loads, producing the same
+// network as the v2 encoding of the same data.
+func TestBinaryReadsV1(t *testing.T) {
+	n := ioTestNetwork()
+	var v1 bytes.Buffer
+	hdr := make([]byte, binaryHeaderV1)
+	copy(hdr[0:4], binaryMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], binaryVersion1)
+	binary.LittleEndian.PutUint16(hdr[6:8], binaryRecordSize)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(n.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(n.NumInteractions()))
+	v1.Write(hdr)
+	rec := make([]byte, binaryRecordSize)
+	for _, r := range canonicalRows(n) {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(r.from))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(r.to))
+		binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(r.ia.Time))
+		binary.LittleEndian.PutUint64(rec[16:24], math.Float64bits(r.ia.Qty))
+		v1.Write(rec)
+	}
+	m, err := ReadNetworkBinary(&v1)
+	if err != nil {
+		t.Fatalf("v1 read: %v", err)
+	}
+	sameNetwork(t, n, m)
+	if m.MaxTime() != n.MaxTime() {
+		t.Fatalf("MaxTime after v1 load = %v, want %v", m.MaxTime(), n.MaxTime())
 	}
 }
 

@@ -54,7 +54,7 @@ func (n *Network) ExtractSubgraph(seed VertexID, opts ExtractOptions) (*Graph, b
 	var paths [][]EdgeID
 	var dfs func(v VertexID, depth int, edges []EdgeID, onPath map[VertexID]bool)
 	dfs = func(v VertexID, depth int, edges []EdgeID, onPath map[VertexID]bool) {
-		for _, e := range n.out[v] {
+		for _, e := range n.OutEdges(v) {
 			u := n.edges[e].To
 			if u == seed {
 				if depth >= 1 { // at least one intermediate vertex
@@ -239,9 +239,9 @@ func (n *Network) reach(v VertexID, backward bool, source, sink VertexID) map[Ve
 		stack = stack[:len(stack)-1]
 		var edges []EdgeID
 		if backward {
-			edges = n.in[x]
+			edges = n.InEdges(x)
 		} else {
-			edges = n.out[x]
+			edges = n.OutEdges(x)
 		}
 		for _, e := range edges {
 			ed := &n.edges[e]

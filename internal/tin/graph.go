@@ -110,7 +110,7 @@ func (g *Graph) AddReducedEdge(from, to VertexID, seq []Interaction) EdgeID {
 		panic(fmt.Sprintf("tin: edge (%d,%d) out of range [0,%d)", from, to, g.NumV))
 	}
 	id := EdgeID(len(g.Edges))
-	g.Edges = append(g.Edges, Edge{From: from, To: to, Seq: seq})
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Seq: seq, canonical: true})
 	g.edgeAlive = append(g.edgeAlive, true)
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
@@ -175,12 +175,18 @@ func (g *Graph) Finalize() {
 	for e := range g.Edges {
 		seq := g.Edges[e].Seq
 		sort.Slice(seq, func(a, b int) bool { return seq[a].Ord < seq[b].Ord })
+		g.Edges[e].canonical = true
 	}
 	g.nextOrd = int64(len(refs))
 }
 
 // Finalized reports whether Finalize has been called.
 func (g *Graph) Finalized() bool { return g.finalized }
+
+// OrdBound returns an exclusive upper bound on the canonical Ord values of
+// the graph's interactions: every live Ord is in [0, OrdBound). It lets
+// algorithms replace Ord-keyed maps with dense slices.
+func (g *Graph) OrdBound() int64 { return g.nextOrd }
 
 // Clone returns a deep copy of the graph, preserving liveness state and
 // canonical order.
@@ -203,7 +209,7 @@ func (g *Graph) Clone() *Graph {
 		finalized: g.finalized,
 	}
 	for i, e := range g.Edges {
-		c.Edges[i] = Edge{From: e.From, To: e.To, Seq: append([]Interaction(nil), e.Seq...)}
+		c.Edges[i] = Edge{From: e.From, To: e.To, Seq: append([]Interaction(nil), e.Seq...), canonical: e.canonical}
 	}
 	for v := range g.out {
 		c.out[v] = append([]EdgeID(nil), g.out[v]...)

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package tin
+
+import "errors"
+
+const mmapSupported = false
+
+// platformMmap is the stub for platforms without mmap; OpenNetworkMmap
+// never calls it there (mmapSupported gates it), it exists to keep the
+// package compiling.
+func platformMmap(string) (*mmapRegion, error) {
+	return nil, errors.New("tin: mmap unsupported on this platform")
+}

@@ -1,0 +1,212 @@
+package tin
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mmapExpected reports whether OpenNetworkMmap should actually map on this
+// platform (otherwise it transparently falls back to a copying load and
+// the lifecycle assertions below are vacuous).
+func mmapExpected() bool { return mmapSupported && hostLE && interactionLayoutOK }
+
+func saveTinb(t *testing.T, n *Network) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.tinb")
+	if err := SaveNetworkBinary(path, n); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMmapRoundTrip: a mapped snapshot must be indistinguishable from a
+// decoded one — same edges, sequences, ords, adjacency, MaxTime.
+func TestMmapRoundTrip(t *testing.T) {
+	n := ioTestNetwork()
+	path := saveTinb(t, n)
+	m, err := OpenNetworkMmap(path)
+	if err != nil {
+		t.Fatalf("OpenNetworkMmap: %v", err)
+	}
+	defer m.Unmap()
+	if got, want := m.MmapBacked(), mmapExpected(); got != want {
+		t.Fatalf("MmapBacked() = %v, want %v", got, want)
+	}
+	sameNetwork(t, n, m)
+	if m.MaxTime() != n.MaxTime() {
+		t.Fatalf("MaxTime = %v, want %v", m.MaxTime(), n.MaxTime())
+	}
+	if !m.Finalized() {
+		t.Fatal("mapped network not finalized")
+	}
+}
+
+// TestMmapSurvivesUnlink: the mapping must outlive the file name — snapshot
+// rotation unlinks old snapshots while readers may still hold them.
+func TestMmapSurvivesUnlink(t *testing.T) {
+	if !mmapExpected() {
+		t.Skip("no mmap on this platform")
+	}
+	n := ioTestNetwork()
+	path := saveTinb(t, n)
+	m, err := OpenNetworkMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Unmap()
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	sameNetwork(t, n, m)
+}
+
+// TestMmapDetachOnAppend: the first mutation must copy the network onto the
+// heap and release the mapping, leaving the data intact plus the new item.
+func TestMmapDetachOnAppend(t *testing.T) {
+	n := ioTestNetwork()
+	path := saveTinb(t, n)
+	m, err := OpenNetworkMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := m.MaxTime()
+	if err := m.Append(0, 1, last+1, 7); err != nil {
+		t.Fatalf("Append on mapped network: %v", err)
+	}
+	if m.MmapBacked() {
+		t.Fatal("still mmap-backed after a mutation")
+	}
+	if m.NumInteractions() != n.NumInteractions()+1 {
+		t.Fatalf("%d interactions after append, want %d", m.NumInteractions(), n.NumInteractions()+1)
+	}
+	e, ok := m.HasEdge(0, 1)
+	if !ok {
+		t.Fatal("edge 0->1 missing after detach")
+	}
+	seq := m.Edge(e).Seq
+	got := seq[len(seq)-1]
+	if got.Time != last+1 || got.Qty != 7 {
+		t.Fatalf("appended interaction = %+v, want time %g qty 7", got, last+1)
+	}
+	// The pre-existing data must have been copied out verbatim.
+	n.Append(0, 1, last+1, 7)
+	sameNetwork(t, n, m)
+}
+
+// TestMmapDetachOnReindex: an out-of-order append followed by Reindex is
+// the heaviest mutation path; it must detach and re-rank correctly.
+func TestMmapDetachOnReindex(t *testing.T) {
+	n := ioTestNetwork()
+	m, err := OpenNetworkMmap(saveTinb(t, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := []BatchItem{{From: 3, To: 1, Time: 0.5, Qty: 2}}
+	if _, err := m.AppendUnordered(late); err != nil {
+		t.Fatalf("AppendUnordered: %v", err)
+	}
+	m.Reindex()
+	if m.MmapBacked() {
+		t.Fatal("still mmap-backed after reindex")
+	}
+	if _, err := n.AppendUnordered(late); err != nil {
+		t.Fatal(err)
+	}
+	n.Reindex()
+	sameNetwork(t, n, m)
+}
+
+// TestMmapGrowKeepsMapping: growing the vertex space only extends the
+// offset arrays (copy-on-append); the interaction arena stays mapped.
+func TestMmapGrowKeepsMapping(t *testing.T) {
+	if !mmapExpected() {
+		t.Skip("no mmap on this platform")
+	}
+	n := ioTestNetwork()
+	m, err := OpenNetworkMmap(saveTinb(t, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Unmap()
+	m.GrowVertices(12)
+	if !m.MmapBacked() {
+		t.Fatal("grow released the mapping; only interaction mutations should")
+	}
+	if m.NumVertices() != 12 {
+		t.Fatalf("NumVertices = %d, want 12", m.NumVertices())
+	}
+	if len(m.OutEdges(11)) != 0 || len(m.InEdges(11)) != 0 {
+		t.Fatal("new vertex has adjacency")
+	}
+	n.GrowVertices(12)
+	sameNetwork(t, n, m)
+}
+
+// TestMmapFallbacks: inputs the zero-copy path cannot serve — gzip names,
+// v1 streams, text files — must load through the regular decoder.
+func TestMmapFallbacks(t *testing.T) {
+	n := ioTestNetwork()
+	dir := t.TempDir()
+
+	gz := filepath.Join(dir, "net.tinb.gz")
+	if err := SaveNetworkBinary(gz, n); err != nil {
+		t.Fatal(err)
+	}
+	txt := filepath.Join(dir, "net.txt")
+	if err := SaveNetwork(txt, n); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{gz, txt} {
+		m, err := OpenNetworkMmap(path)
+		if err != nil {
+			t.Fatalf("OpenNetworkMmap(%s): %v", filepath.Base(path), err)
+		}
+		if m.MmapBacked() {
+			t.Fatalf("%s claims to be mmap-backed", filepath.Base(path))
+		}
+		sameNetwork(t, n, m)
+	}
+}
+
+// TestMmapRejectsCorrupt: a mapped image that fails validation must error
+// out, not serve garbage — and must not leak the mapping.
+func TestMmapRejectsCorrupt(t *testing.T) {
+	if !mmapExpected() {
+		t.Skip("no mmap on this platform")
+	}
+	n := ioTestNetwork()
+	path := saveTinb(t, n)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := layoutV2(int64(n.NumVertices()), int64(n.NumEdges()), int64(n.NumInteractions()))
+	// Out-of-range adjacency entry: caught by the light mmap validation.
+	data[l.outAdj] = 0xff
+	data[l.outAdj+1] = 0xff
+	data[l.outAdj+2] = 0xff
+	data[l.outAdj+3] = 0x7f
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenNetworkMmap(path); err == nil {
+		t.Fatal("corrupt image mapped without error")
+	}
+}
+
+// TestMmapUnmapIdempotent: Unmap on an unmapped (or never-mapped) network
+// is a no-op, and double-Unmap is safe.
+func TestMmapUnmapIdempotent(t *testing.T) {
+	n := ioTestNetwork()
+	n.Unmap()
+	m, err := OpenNetworkMmap(saveTinb(t, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Unmap()
+	m.Unmap()
+	if m.MmapBacked() {
+		t.Fatal("MmapBacked after Unmap")
+	}
+}

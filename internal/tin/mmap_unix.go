@@ -1,0 +1,36 @@
+//go:build unix
+
+package tin
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// platformMmap maps the named file read-only. The descriptor is closed
+// before returning — the mapping keeps the file contents alive on its own,
+// even across an unlink (snapshot rotation can delete the file under a
+// live mapping safely).
+func platformMmap(path string) (*mmapRegion, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("tin: mmap: file size %d not mappable", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("tin: mmap %s: %w", path, err)
+	}
+	return &mmapRegion{data: data, unmap: func() { _ = syscall.Munmap(data) }}, nil
+}

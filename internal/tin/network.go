@@ -8,20 +8,43 @@ import (
 
 // Network is a whole interaction network (Definition 1 of the paper): a
 // directed multigraph over dense vertex ids with an interaction sequence on
-// every edge. It is append-oriented and, once finalized, immutable; flow is
-// computed on subgraphs extracted from it (ExtractSubgraph, or the pattern
-// matchers in internal/pattern).
+// every edge. It is append-oriented and, once finalized, compacted into a
+// cache-local CSR layout (see csr.go); flow is computed on subgraphs
+// extracted from it (ExtractSubgraph, or the pattern matchers in
+// internal/pattern).
+//
+// Two internal representations back the same API:
+//
+//   - Building (before Finalize): jagged per-edge sequences, per-vertex
+//     adjacency slices and a (from,to) hash index — cheap to append to.
+//   - Finalized: one interaction arena holding every sequence back to back
+//     in canonical order, a flat edge table whose Seq fields are sub-slices
+//     of the arena, offset-based out/in adjacency, and a sorted pair index
+//     replacing the hash map. The arena layout is exactly the FNTB v2
+//     on-disk layout, so snapshots can be mmap'd and served zero-copy.
 type Network struct {
 	numV  int
 	edges []Edge
 
-	out [][]EdgeID
-	in  [][]EdgeID
-
-	// edgeIdx maps (from<<32 | to) to the edge id, for O(1) edge lookup.
-	// Parallel edges are collapsed at load time: AddInteraction on an
-	// existing (from,to) pair appends to the existing edge's sequence.
+	// Builder state, released by Finalize.
+	bOut, bIn [][]EdgeID
+	// edgeIdx maps (from<<32 | to) to the edge id, for O(1) edge lookup
+	// while building. Parallel edges are collapsed at load time:
+	// AddInteraction on an existing (from,to) pair appends to the existing
+	// edge's sequence. After Finalize the sorted pair index (pairKeys /
+	// pairIDs in csr.go) answers the same lookups without a map.
 	edgeIdx map[int64]EdgeID
+
+	// Finalized CSR state; see csr.go.
+	arena         []Interaction
+	outOff, inOff []int32
+	outAdj, inAdj []EdgeID
+	pairKeys      []int64
+	pairIDs       []EdgeID
+
+	// mm keeps the snapshot mapping alive while the CSR arrays alias it;
+	// nil for heap-backed networks. See mmap.go.
+	mm *mmapRegion
 
 	numIA     int
 	nextOrd   int64
@@ -39,8 +62,8 @@ type Network struct {
 func NewNetwork(numV int) *Network {
 	return &Network{
 		numV:    numV,
-		out:     make([][]EdgeID, numV),
-		in:      make([][]EdgeID, numV),
+		bOut:    make([][]EdgeID, numV),
+		bIn:     make([][]EdgeID, numV),
 		edgeIdx: make(map[int64]EdgeID),
 		maxTime: math.Inf(-1),
 	}
@@ -82,8 +105,8 @@ func (n *Network) AddInteraction(from, to VertexID, t, q float64) bool {
 		id = EdgeID(len(n.edges))
 		n.edges = append(n.edges, Edge{From: from, To: to})
 		n.edgeIdx[key] = id
-		n.out[from] = append(n.out[from], id)
-		n.in[to] = append(n.in[to], id)
+		n.bOut[from] = append(n.bOut[from], id)
+		n.bIn[to] = append(n.bIn[to], id)
 	}
 	n.edges[id].Seq = append(n.edges[id].Seq, Interaction{Time: t, Qty: q, Ord: n.nextOrd})
 	n.nextOrd++
@@ -91,19 +114,22 @@ func (n *Network) AddInteraction(from, to VertexID, t, q float64) bool {
 	return true
 }
 
-// Finalize assigns the canonical order to all interactions and sorts every
-// edge sequence. Must be called once before the network is queried.
+// Finalize assigns the canonical order to all interactions, sorts every
+// edge sequence and compacts the network into the CSR layout. Must be
+// called once before the network is queried.
 func (n *Network) Finalize() {
 	if n.finalized {
 		panic("tin: Finalize called twice")
 	}
 	n.finalized = true
-	n.reindex()
+	n.rankBuilder()
+	n.buildCSR()
 }
 
-// reindex performs the canonical (Time, insertion index) rank assignment
-// shared by Finalize and Reindex, and re-derives maxTime.
-func (n *Network) reindex() {
+// rankBuilder performs the canonical (Time, insertion index) rank
+// assignment over the jagged builder representation and re-derives
+// maxTime. Only valid before buildCSR has run.
+func (n *Network) rankBuilder() {
 	type ref struct {
 		e EdgeID
 		i int32
@@ -128,6 +154,7 @@ func (n *Network) reindex() {
 	for e := range n.edges {
 		seq := n.edges[e].Seq
 		sort.Slice(seq, func(a, b int) bool { return seq[a].Ord < seq[b].Ord })
+		n.edges[e].canonical = true
 	}
 	n.nextOrd = int64(len(refs))
 	n.maxTime = math.Inf(-1)
@@ -142,23 +169,36 @@ func (n *Network) Finalized() bool { return n.finalized }
 
 // HasEdge reports whether an edge from -> to exists, and returns its id.
 func (n *Network) HasEdge(from, to VertexID) (EdgeID, bool) {
-	id, ok := n.edgeIdx[pairKey(from, to)]
-	return id, ok
+	if !n.finalized {
+		id, ok := n.edgeIdx[pairKey(from, to)]
+		return id, ok
+	}
+	return n.lookupPair(pairKey(from, to))
 }
 
 // OutEdges returns the ids of the outgoing edges of v. The returned slice
 // is owned by the network and must not be modified.
-func (n *Network) OutEdges(v VertexID) []EdgeID { return n.out[v] }
+func (n *Network) OutEdges(v VertexID) []EdgeID {
+	if !n.finalized {
+		return n.bOut[v]
+	}
+	return n.outAdj[n.outOff[v]:n.outOff[v+1]]
+}
 
 // InEdges returns the ids of the incoming edges of v. The returned slice is
 // owned by the network and must not be modified.
-func (n *Network) InEdges(v VertexID) []EdgeID { return n.in[v] }
+func (n *Network) InEdges(v VertexID) []EdgeID {
+	if !n.finalized {
+		return n.bIn[v]
+	}
+	return n.inAdj[n.inOff[v]:n.inOff[v+1]]
+}
 
 // OutDegree returns the number of distinct successors of v.
-func (n *Network) OutDegree(v VertexID) int { return len(n.out[v]) }
+func (n *Network) OutDegree(v VertexID) int { return len(n.OutEdges(v)) }
 
 // InDegree returns the number of distinct predecessors of v.
-func (n *Network) InDegree(v VertexID) int { return len(n.in[v]) }
+func (n *Network) InDegree(v VertexID) int { return len(n.InEdges(v)) }
 
 // AvgQty returns the mean interaction quantity over the whole network
 // (the "avg. flow" column of the paper's Table 4 reports per-dataset

@@ -72,10 +72,16 @@ func trimFloat(f float64) string {
 }
 
 // Edge is a directed edge together with its interaction sequence. Seq is
-// kept sorted in canonical order at all times after Finalize.
+// kept sorted in canonical order at all times after Finalize. In a
+// finalized Network, Seq is a sub-slice of the network's interaction arena
+// (see csr.go) rather than a per-edge allocation.
 type Edge struct {
 	From, To VertexID
 	Seq      []Interaction
+	// canonical records that Seq is sorted in canonical order (and hence
+	// non-decreasing in Time). Finalize sets it; it lets Span read the
+	// sequence endpoints instead of scanning every interaction.
+	canonical bool
 }
 
 // TotalQty returns the sum of the quantities of all interactions on the
@@ -89,8 +95,17 @@ func (e *Edge) TotalQty() float64 {
 }
 
 // Span returns the earliest and latest interaction timestamps on the edge.
-// It returns (+inf, -inf) for an edge with no interactions.
+// It returns (+inf, -inf) for an edge with no interactions. On a finalized
+// edge the sequence is sorted in canonical order, so the span is just the
+// first and last elements; unsorted pre-Finalize sequences still get the
+// full scan.
 func (e *Edge) Span() (first, last float64) {
+	if len(e.Seq) == 0 {
+		return math.Inf(1), math.Inf(-1)
+	}
+	if e.canonical {
+		return e.Seq[0].Time, e.Seq[len(e.Seq)-1].Time
+	}
 	first, last = math.Inf(1), math.Inf(-1)
 	for _, ia := range e.Seq {
 		if ia.Time < first {
