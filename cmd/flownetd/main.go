@@ -18,9 +18,13 @@
 //
 // Repeated queries are memoized in a bounded LRU (-cache-size entries) and
 // replayed byte-identically; every ingested batch bumps the network's
-// generation, so stale answers are never replayed. -workers bounds every
-// worker pool. With -allow-ingest the service may start with no -net at
-// all and be populated entirely over HTTP.
+// generation, so stale answers are never replayed. Ingests carry their
+// delta: cached answers whose read footprint provably missed the changed
+// edges survive the bump, and stale PB pattern tables are patched forward
+// incrementally when at most -table-update-threshold edges changed
+// (rebuilt from scratch otherwise). -workers bounds every worker pool.
+// With -allow-ingest the service may start with no -net at all and be
+// populated entirely over HTTP.
 //
 // Overload protection: -query-timeout deadlines every query (expired ones
 // answer 504 and are never cached); -max-inflight bounds concurrently
@@ -95,6 +99,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		useMmap     = fs.Bool("mmap", false, "serve binary snapshots zero-copy via mmap instead of decoding them (released when a network is first mutated)")
 		queryTO     = fs.Duration("query-timeout", 0, "per-request deadline for /flow, /flow/batch and /patterns; expired queries answer 504 (0 = no deadline)")
 		maxInflight = fs.Int("max-inflight", 0, "maximum concurrently executing queries; excess load answers 503 + Retry-After (0 = unbounded)")
+		tableUpd    = fs.Int("table-update-threshold", 0, "changed-edge count up to which stale PB pattern tables are patched forward incrementally instead of rebuilt (0 = default 256, negative = always rebuild)")
 	)
 	fs.Var(&nets, "net", "network to load, as name=path or path (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -141,13 +146,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cli.ErrUsage
 	}
 	srv := server.New(server.Config{
-		Workers:      *workers,
-		CacheSize:    *cacheSize,
-		Engine:       eng,
-		AllowIngest:  *allowIngest,
-		Store:        st,
-		QueryTimeout: *queryTO,
-		MaxInFlight:  *maxInflight,
+		Workers:              *workers,
+		CacheSize:            *cacheSize,
+		Engine:               eng,
+		AllowIngest:          *allowIngest,
+		Store:                st,
+		QueryTimeout:         *queryTO,
+		MaxInFlight:          *maxInflight,
+		TableUpdateThreshold: *tableUpd,
 	})
 	for _, spec := range nets {
 		name, path := splitNetSpec(spec)

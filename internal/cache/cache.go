@@ -1,7 +1,12 @@
 // Package cache provides a small, thread-safe, bounded LRU map. It backs
-// the result cache of the flownetd query service (internal/server): loaded
-// networks are immutable, so a (network, query) pair always produces the
-// same answer and memoizing it turns repeated queries into O(1) lookups.
+// the result cache of the flownetd query service (internal/server): query
+// handlers see one immutable network version per request (identified by
+// its generation), so a (network, generation, query) triple always
+// produces the same answer and memoizing it turns repeated queries into
+// O(1) lookups. When a network changes, the server invalidates with
+// DeleteFunc (coarse: a whole network's entries at once) or Rekey (fine:
+// entries provably unaffected by the change are moved to the new
+// generation's keys and keep serving hits).
 package cache
 
 import (
@@ -88,10 +93,12 @@ func (c *Cache[K, V]) Put(k K, v V) {
 }
 
 // DeleteFunc removes every entry whose key matches pred and returns how
-// many were removed. It is the invalidation hook for callers whose values
-// can go stale in groups — flownetd drops all entries of one network after
-// an ingest while other networks' entries survive. Removals do not count as
-// evictions (the entries were not displaced by capacity pressure).
+// many were removed. It is the coarse invalidation hook for callers whose
+// values can go stale in groups — flownetd uses it when a whole network's
+// entries must die at once (a reindex re-ranks everything); the finer
+// Rekey hook retains provably unaffected entries instead. Removals do not
+// count as evictions (the entries were not displaced by capacity
+// pressure).
 func (c *Cache[K, V]) DeleteFunc(pred func(K) bool) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -109,6 +116,55 @@ func (c *Cache[K, V]) DeleteFunc(pred func(K) bool) int {
 		el = next
 	}
 	return removed
+}
+
+// Rekey visits every entry, letting fn move it to a new key or drop it:
+// fn returns the key the entry should live under (the same key to leave it
+// alone) and whether to keep it at all. LRU order is preserved — a re-keyed
+// entry keeps its recency position. It returns how many entries were moved
+// to a new key and how many were removed.
+//
+// Rekey is the delta-aware invalidation hook: flownetd tags cache keys with
+// the network generation, and after an ingest it re-keys entries whose
+// recorded read footprint is disjoint from the ingested delta to the new
+// generation (keeping them reachable) while dropping only the possibly
+// affected ones. If fn maps an entry onto a key that already exists, the
+// visited entry is removed and the existing one kept — in the flownetd use
+// the two are byte-identical answers, so nothing of value is lost.
+//
+// fn must not call back into the cache. Entries inserted into newly freed
+// keys by fn are visited at most once (the traversal walks the recency
+// list snapshot-free but never revisits an element).
+func (c *Cache[K, V]) Rekey(fn func(K, V) (K, bool)) (rekeyed, removed int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return 0, 0
+	}
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*entry[K, V])
+		newKey, keep := fn(ent.key, ent.val)
+		switch {
+		case !keep:
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+			removed++
+		case newKey != ent.key:
+			if _, taken := c.items[newKey]; taken {
+				c.ll.Remove(el)
+				delete(c.items, ent.key)
+				removed++
+				break
+			}
+			delete(c.items, ent.key)
+			ent.key = newKey
+			c.items[newKey] = el
+			rekeyed++
+		}
+		el = next
+	}
+	return rekeyed, removed
 }
 
 // Len returns the number of cached entries.

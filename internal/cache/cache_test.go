@@ -127,3 +127,80 @@ func TestDeleteFunc(t *testing.T) {
 		t.Errorf("DeleteFunc on disabled cache = %d, want 0", n)
 	}
 }
+
+func TestRekey(t *testing.T) {
+	c := New[string, int](8)
+	for _, k := range []string{"a|g1|x", "a|g1|y", "b|g1|x"} {
+		c.Put(k, len(k))
+	}
+	// Move network a's entries from generation 1 to generation 2, drop b's.
+	rekeyed, removed := c.Rekey(func(k string, _ int) (string, bool) {
+		if strings.HasPrefix(k, "b|") {
+			return k, false
+		}
+		return strings.Replace(k, "|g1|", "|g2|", 1), true
+	})
+	if rekeyed != 2 || removed != 1 {
+		t.Fatalf("Rekey = (%d, %d), want (2, 1)", rekeyed, removed)
+	}
+	for _, k := range []string{"a|g2|x", "a|g2|y"} {
+		if v, ok := c.Get(k); !ok || v != len(k) {
+			t.Errorf("re-keyed entry %q: got %d, %v", k, v, ok)
+		}
+	}
+	for _, k := range []string{"a|g1|x", "a|g1|y", "b|g1|x"} {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("old key %q still present", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after Rekey, want 2", c.Len())
+	}
+	if got := c.Stats().Evictions; got != 0 {
+		t.Errorf("Rekey counted %d evictions, want 0", got)
+	}
+}
+
+func TestRekeyCollisionKeepsExisting(t *testing.T) {
+	c := New[string, int](8)
+	c.Put("old", 1)
+	c.Put("new", 2)
+	rekeyed, removed := c.Rekey(func(k string, _ int) (string, bool) {
+		if k == "old" {
+			return "new", true // collides with the existing entry
+		}
+		return k, true
+	})
+	if rekeyed != 0 || removed != 1 {
+		t.Fatalf("Rekey = (%d, %d), want (0, 1)", rekeyed, removed)
+	}
+	if v, ok := c.Get("new"); !ok || v != 2 {
+		t.Fatalf("collision target = %d, %v; want the pre-existing 2, true", v, ok)
+	}
+	if _, ok := c.Get("old"); ok {
+		t.Fatal("colliding entry survived under its old key")
+	}
+}
+
+func TestRekeyPreservesLRUOrder(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 10)
+	c.Put(2, 20) // recency: 2 (front), 1 (back)
+	c.Rekey(func(k, _ int) (int, bool) { return k + 100, true })
+	// 101 is still the LRU entry: inserting a third key must evict it.
+	c.Put(3, 30)
+	if _, ok := c.Get(101); ok {
+		t.Fatal("101 should have been evicted (it was least recently used before the rekey)")
+	}
+	if _, ok := c.Get(102); !ok {
+		t.Fatal("102 should have survived the eviction")
+	}
+}
+
+func TestRekeyDisabledCache(t *testing.T) {
+	c := New[string, int](0)
+	c.Put("a", 1)
+	if rekeyed, removed := c.Rekey(func(k string, _ int) (string, bool) { return k, false }); rekeyed != 0 || removed != 0 {
+		t.Fatalf("Rekey on disabled cache = (%d, %d), want (0, 0)", rekeyed, removed)
+	}
+}

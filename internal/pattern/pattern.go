@@ -17,7 +17,11 @@
 //     assembled instance.
 //
 // The package also implements the relaxed (non-rigid) patterns of §5.3,
-// which aggregate any number of parallel anchored paths.
+// which aggregate any number of parallel anchored paths, and the delta
+// maintenance of footnote 2: Tables.Update brings precomputed tables
+// current after an append by recomputing only the row groups whose anchor
+// a changed edge can affect, so a live network (internal/stream) keeps its
+// PB tables warm at a cost proportional to the ingest, not the network.
 package pattern
 
 import "fmt"

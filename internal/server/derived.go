@@ -1,0 +1,366 @@
+package server
+
+// Derived state: everything the server computes *from* a network and would
+// be correct to throw away — memoized responses and PB path tables. Both
+// are keyed (or tagged) by the network generation, so they can never serve
+// a stale answer; this file is about keeping as much of them as possible
+// *warm* across ingests instead of rebuilding from scratch.
+//
+// The store's delta-bearing change notification (store.SubscribeDelta)
+// names the edges an ingest touched and their endpoint vertices. Two
+// consumers use it:
+//
+//   - tableCache accumulates the changed-edge union and patches the PB
+//     path tables forward with pattern.Tables.Update on the next query,
+//     falling back to a full pattern.Precompute when the delta is too
+//     large (Config.TableUpdateThreshold), when a reindex re-ranked the
+//     edge order (Update's preconditions no longer hold), or when no
+//     tables were built yet.
+//
+//   - the retention sweep re-keys cached responses whose recorded read
+//     footprint (the vertex set the answer depended on) is disjoint from
+//     the delta's vertices up to the new generation, instead of letting
+//     the whole network's cache die with the generation bump.
+//
+// Both are optimizations only: a dropped table cache rebuilds on the next
+// PB query, and a dropped response recomputes on the next hit. Correctness
+// never depends on a sweep running, only on generation tags.
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"flownet/internal/pattern"
+	"flownet/internal/store"
+	"flownet/internal/stream"
+	"flownet/internal/tin"
+)
+
+const (
+	// defaultTableUpdateThreshold is the changed-edge count above which the
+	// accumulated delta is abandoned and the next PB query rebuilds the
+	// tables from scratch (Config.TableUpdateThreshold = 0 selects it).
+	// Update cost scales with the affected-anchor neighborhoods, rebuild
+	// cost with the whole network; for deltas past a few hundred edges the
+	// bookkeeping stops paying for itself on the networks the benchmarks
+	// model.
+	defaultTableUpdateThreshold = 256
+
+	// maxFootprintVertices caps the per-entry footprint recorded with a
+	// cached response. A footprint this large means the answer read a big
+	// slice of the network — retention would rarely succeed and the
+	// intersection scans would be slow — so the entry falls back to
+	// purge-on-change (nil footprint).
+	maxFootprintVertices = 1024
+
+	// maxSweepVertices caps the vertex union a pending sweep accumulates
+	// across coalesced ingests; past it the sweep degrades to a full purge
+	// of the network's stale entries.
+	maxSweepVertices = 4096
+)
+
+// cachedResponse is one memoized response body plus the read footprint the
+// retention sweep tests against ingest deltas. foot is ascending; nil means
+// the footprint is unknown (batch and pattern answers, or over the cap) and
+// the entry is dropped on any change to its network.
+type cachedResponse struct {
+	body []byte
+	foot []tin.VertexID
+}
+
+// derivedStats holds the counters behind /stats "derived" and the
+// flownet_derived_* metric families.
+type derivedStats struct {
+	tableUpdates  atomic.Uint64
+	tableRebuilds atomic.Uint64
+	cacheRetained atomic.Uint64
+	cachePurged   atomic.Uint64
+}
+
+// clampFootprint applies maxFootprintVertices: an over-the-cap footprint is
+// recorded as unknown (nil), falling back to purge-on-change.
+func clampFootprint(foot []tin.VertexID) []tin.VertexID {
+	if len(foot) > maxFootprintVertices {
+		return nil
+	}
+	return foot
+}
+
+// ---- warm PB path tables ----------------------------------------------
+
+// tableCache is one network's lazily built, generation-tagged PB path
+// tables, kept warm across ingests: between a build at gen and the next PB
+// query it accumulates the changed-edge union of every generation bump, and
+// the next get patches the tables forward with pattern.Tables.Update when
+// the delta is small enough (srv.tableThreshold), rebuilding otherwise.
+//
+// The build/update runs outside tc.mu under a single-flight guard
+// (building + cond), so concurrent first queries run one build — not one
+// each — and ready() keeps answering (for /stats and /networks) while a
+// build is in progress.
+type tableCache struct {
+	srv  *Server
+	mu   sync.Mutex
+	cond *sync.Cond
+	// building marks an in-progress build/update; waiters sleep on cond.
+	// Every waiter holds the network's read lock at the same generation as
+	// the builder (writers are blocked), so they all want the same tables.
+	building bool
+	tables   pattern.Tables
+	// gen is the generation the cached tables were built for; 0 means
+	// never built.
+	gen uint64
+	// pending is the union of changed edges since the build at gen; full
+	// marks the accumulated delta unusable (reindex re-ranked the edges,
+	// the union outgrew the threshold, or updates are disabled) so the
+	// next get rebuilds.
+	pending map[tin.EdgeID]struct{}
+	full    bool
+}
+
+// recordDelta folds one generation bump's delta into the pending union.
+// Called from the store's change notification, under the network's write
+// lock — so no get() build can be in flight (builds hold the read lock).
+func (tc *tableCache) recordDelta(d stream.Delta, threshold int) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.gen == 0 || tc.full {
+		return // nothing built yet, or already resigned to a rebuild
+	}
+	if d.Full || threshold < 0 {
+		tc.full = true
+		tc.pending = nil
+		return
+	}
+	if tc.pending == nil {
+		tc.pending = make(map[tin.EdgeID]struct{}, len(d.Edges))
+	}
+	for _, e := range d.Edges {
+		tc.pending[e] = struct{}{}
+	}
+	if len(tc.pending) > threshold {
+		// Over the update threshold: the next query rebuilds anyway, so
+		// stop spending memory on the union.
+		tc.full = true
+		tc.pending = nil
+	}
+}
+
+// get returns the PB path tables for generation gen of n (with the C2
+// chain table included, so every catalogue pattern has a PB plan). Callers
+// must hold the network's stream read lock, so n cannot change underneath
+// the build and gen is the network's current generation.
+//
+// When the cached tables lag, get patches them forward with Update if the
+// pending delta qualifies (counted in derived.tableUpdates), else rebuilds
+// from scratch (derived.tableRebuilds). Concurrent callers single-flight:
+// one builds, the rest wait on cond and reuse the result.
+func (tc *tableCache) get(n *tin.Network, gen uint64) pattern.Tables {
+	tc.mu.Lock()
+	for {
+		if tc.gen == gen {
+			t := tc.tables
+			tc.mu.Unlock()
+			return t
+		}
+		if !tc.building {
+			break
+		}
+		tc.cond.Wait()
+	}
+	tc.building = true
+	prev, prevGen := tc.tables, tc.gen
+	pending, full := tc.pending, tc.full
+	tc.mu.Unlock()
+
+	// Build outside the mutex: ready() and concurrent same-gen getters
+	// must not block behind a long Precompute.
+	var tables pattern.Tables
+	threshold := tc.srv.tableThreshold
+	if prevGen > 0 && !full && threshold >= 0 && len(pending) <= threshold {
+		if len(pending) == 0 {
+			// Growth-only bumps (new isolated vertices): no edge changed,
+			// the tables are already correct — just retag them.
+			tables = prev
+		} else {
+			changed := make([]tin.EdgeID, 0, len(pending))
+			for e := range pending {
+				changed = append(changed, e)
+			}
+			sort.Slice(changed, func(a, b int) bool { return changed[a] < changed[b] })
+			tables = prev.Update(n, changed)
+		}
+		tc.srv.derived.tableUpdates.Add(1)
+	} else {
+		tables = pattern.Precompute(n, true)
+		tc.srv.derived.tableRebuilds.Add(1)
+	}
+
+	tc.mu.Lock()
+	tc.tables = tables
+	tc.gen = gen
+	tc.pending = nil
+	tc.full = false
+	tc.building = false
+	tc.cond.Broadcast()
+	tc.mu.Unlock()
+	return tables
+}
+
+// ready reports whether the cached tables match generation gen. It never
+// blocks behind an in-progress build.
+func (tc *tableCache) ready(gen uint64) bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.gen == gen
+}
+
+// tablesFor returns (lazily creating) the table cache of a shard. Caches
+// are keyed by network name — the same key the store's change notification
+// delivers — so deltas reach the right cache.
+func (s *Server) tablesFor(sh *store.Shard) *tableCache {
+	s.tablesMu.Lock()
+	defer s.tablesMu.Unlock()
+	tc, ok := s.tables[sh.Name()]
+	if !ok {
+		tc = &tableCache{srv: s}
+		tc.cond = sync.NewCond(&tc.mu)
+		s.tables[sh.Name()] = tc
+	}
+	return tc
+}
+
+// ---- delta-aware response-cache retention -----------------------------
+
+// sweepDelta accumulates the coalesced invalidation work of one network:
+// every generation bump since the last sweep, folded together. base is the
+// generation the oldest coalesced bump started from — entries built at
+// generations below it have unknown intermediate deltas and are dropped;
+// entries in [base, toGen) are retained iff their footprint misses verts.
+type sweepDelta struct {
+	base  uint64
+	toGen uint64
+	full  bool
+	verts map[tin.VertexID]struct{}
+}
+
+// onStoreDelta is the store's change notification (fired under the
+// network's write lock): it feeds the table cache's pending union, folds
+// the delta into the network's sweep, and kicks the single sweeper
+// goroutine. The sweep itself must not run here — it scans the whole LRU.
+func (s *Server) onStoreDelta(name string, gen uint64, d stream.Delta) {
+	s.tablesMu.Lock()
+	tc := s.tables[name]
+	s.tablesMu.Unlock()
+	if tc != nil {
+		tc.recordDelta(d, s.tableThreshold)
+	}
+
+	s.dirtyMu.Lock()
+	sd := s.dirty[name]
+	if sd == nil {
+		sd = &sweepDelta{base: gen - 1}
+		s.dirty[name] = sd
+	}
+	sd.toGen = gen
+	if d.Full {
+		sd.full = true
+		sd.verts = nil
+	}
+	if !sd.full {
+		if sd.verts == nil {
+			sd.verts = make(map[tin.VertexID]struct{}, len(d.Vertices))
+		}
+		for _, v := range d.Vertices {
+			sd.verts[v] = struct{}{}
+		}
+		if len(sd.verts) > maxSweepVertices {
+			sd.full = true
+			sd.verts = nil
+		}
+	}
+	spawn := !s.purging
+	s.purging = true
+	s.dirtyMu.Unlock()
+	if spawn {
+		go s.sweepDirty()
+	}
+}
+
+// sweepDirty drains the dirty map, one cache sweep per distinct network,
+// and exits when the map is empty. Eagerness is an optimization only:
+// cache keys carry the generation, so the bump already made every stale
+// entry unreachable — the sweep either frees the LRU slot or, better,
+// re-keys the entry to the new generation so it stays reachable.
+func (s *Server) sweepDirty() {
+	for {
+		s.dirtyMu.Lock()
+		var name string
+		var sd *sweepDelta
+		for n, d := range s.dirty {
+			name, sd = n, d
+			break
+		}
+		if sd == nil {
+			s.purging = false
+			s.dirtyMu.Unlock()
+			return
+		}
+		delete(s.dirty, name)
+		s.dirtyMu.Unlock()
+		s.sweepNetwork(name, sd)
+	}
+}
+
+// sweepNetwork runs one retention scan over the response cache. Keys are
+// "<kind>|<network>|g<gen>|<query>" and network names cannot contain '|',
+// so matching on the second field is exact. For each of name's entries:
+//
+//   - generation >= sd.toGen: current (or newer — raced with a later
+//     ingest whose own sweep is queued); left untouched.
+//   - sweep degraded to full, generation < sd.base (unknown intermediate
+//     deltas), nil footprint, or footprint intersecting the delta's
+//     vertices: dropped.
+//   - otherwise the answer provably survives every coalesced bump
+//     (footprint disjoint from all changed-edge endpoints — see the
+//     staleness-certificate arguments on tin.ExtractSubgraphFootprint and
+//     tin.FlowSubgraphBetweenFootprint) and the entry is re-keyed to
+//     sd.toGen, staying reachable at the new generation.
+func (s *Server) sweepNetwork(name string, sd *sweepDelta) {
+	prefix := name + "|g"
+	newTag := "|g" + strconv.FormatUint(sd.toGen, 10) + "|"
+	rekeyed, removed := s.cache.Rekey(func(key string, v cachedResponse) (string, bool) {
+		kind, rest, found := strings.Cut(key, "|")
+		if !found || !strings.HasPrefix(rest, prefix) {
+			return key, true // another network's entry
+		}
+		genStr, query, found := strings.Cut(rest[len(prefix):], "|")
+		if !found {
+			return key, true
+		}
+		g, err := strconv.ParseUint(genStr, 10, 64)
+		if err != nil || g >= sd.toGen {
+			return key, true
+		}
+		if sd.full || g < sd.base || v.foot == nil || footprintHits(v.foot, sd.verts) {
+			return key, false
+		}
+		return kind + "|" + name + newTag + query, true
+	})
+	s.derived.cacheRetained.Add(uint64(rekeyed))
+	s.derived.cachePurged.Add(uint64(removed))
+}
+
+// footprintHits reports whether any footprint vertex was an endpoint of a
+// changed edge.
+func footprintHits(foot []tin.VertexID, verts map[tin.VertexID]struct{}) bool {
+	for _, v := range foot {
+		if _, ok := verts[v]; ok {
+			return true
+		}
+	}
+	return false
+}

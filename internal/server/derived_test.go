@@ -1,0 +1,280 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flownet/internal/tin"
+)
+
+// twoComponents is a fixture with two disconnected flow chains, so an
+// ingest into one component provably cannot affect answers read from the
+// other: 0 -> 1 -> 2 and 3 -> 4 -> 5, both carrying 5 units.
+var twoComponents = []tin.BatchItem{
+	{From: 0, To: 1, Time: 1, Qty: 5}, {From: 1, To: 2, Time: 2, Qty: 5},
+	{From: 3, To: 4, Time: 1.5, Qty: 5}, {From: 4, To: 5, Time: 2.5, Qty: 5},
+}
+
+// derivedStatsOf polls /stats until cond accepts the derived counters (the
+// retention sweep runs asynchronously after an ingest) or a deadline
+// passes, returning the last observed counters either way.
+func derivedStatsOf(t *testing.T, ts *httptest.Server, cond func(DerivedStats) bool) DerivedStats {
+	t.Helper()
+	var res StatsResult
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		get(t, ts, "/stats", &res)
+		if cond == nil || cond(res.Derived) || time.Now().After(deadline) {
+			return res.Derived
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCacheRetentionAcrossIngest is the tentpole acceptance test for
+// delta-aware cache retention: after an ingest that touches only one
+// component of a network, a cached answer whose read footprint lies
+// entirely in the other component survives the generation bump — served as
+// a byte-identical hit with no recomputation — while answers the delta
+// could have affected are purged and recomputed.
+func TestCacheRetentionAcrossIngest(t *testing.T) {
+	s := New(Config{CacheSize: 64, AllowIngest: true})
+	if err := s.AddNetwork("live", buildNet(t, 6, twoComponents)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	flow := func(query, wantCache string) (float64, []byte) {
+		t.Helper()
+		var res FlowResult
+		status, cacheHdr, body := get(t, ts, "/flow?net=live&"+query, &res)
+		if status != 200 {
+			t.Fatalf("GET /flow %s: status %d (%s)", query, status, body)
+		}
+		if cacheHdr != wantCache {
+			t.Fatalf("GET /flow %s: cache %q, want %q", query, cacheHdr, wantCache)
+		}
+		return res.Flow, body
+	}
+
+	// Warm both components: a pair answer in 3..5, a seed answer at 3 (a
+	// negative one — no returning path — which retention must also keep),
+	// and a pair answer in 0..2 that the ingest will invalidate.
+	farFlow, farBody := flow("source=3&sink=5", "miss")
+	if farFlow != 5 {
+		t.Fatalf("pair 3->5 = %g, want 5", farFlow)
+	}
+	flow("seed=3", "miss")
+	if nearFlow, _ := flow("source=0&sink=2", "miss"); nearFlow != 5 {
+		t.Fatalf("pair 0->2 = %g, want 5", nearFlow)
+	}
+
+	// Ingest into component {0,1,2} only.
+	status, body := post(t, ts, "/ingest", IngestRequest{Network: "live", Interactions: []IngestInteraction{
+		{From: 0, To: 1, Time: 3, Qty: 2}, {From: 1, To: 2, Time: 4, Qty: 2},
+	}}, nil)
+	if status != 200 {
+		t.Fatalf("ingest: status %d (%s)", status, body)
+	}
+	d := derivedStatsOf(t, ts, func(d DerivedStats) bool { return d.CacheRetained+d.CachePurged >= 3 })
+	if d.CacheRetained < 2 {
+		t.Fatalf("derived stats after ingest = %+v, want >= 2 retained (pair 3->5 and seed 3)", d)
+	}
+	if d.CachePurged < 1 {
+		t.Fatalf("derived stats after ingest = %+v, want >= 1 purged (pair 0->2)", d)
+	}
+
+	// The far component's answers are hits at the new generation, byte-identical.
+	if _, b := flow("source=3&sink=5", "hit"); string(b) != string(farBody) {
+		t.Fatalf("retained answer changed across the ingest:\nbefore %s\nafter  %s", farBody, b)
+	}
+	flow("seed=3", "hit")
+	// The ingested component recomputes and sees the new value.
+	if nearFlow, _ := flow("source=0&sink=2", "miss"); nearFlow != 7 {
+		t.Fatalf("pair 0->2 after ingest = %g, want 7", nearFlow)
+	}
+
+	// A reindex re-ranks the whole canonical order: no footprint can save
+	// an entry, the whole network's cache is purged.
+	post(t, ts, "/ingest", IngestRequest{Network: "live", AllowOutOfOrder: true, Interactions: []IngestInteraction{
+		{From: 3, To: 4, Time: 0.5, Qty: 1},
+	}}, nil)
+	post(t, ts, "/ingest", IngestRequest{Network: "live", Reindex: true}, nil)
+	purgedBefore := d.CachePurged
+	derivedStatsOf(t, ts, func(d DerivedStats) bool { return d.CachePurged > purgedBefore })
+	flow("source=3&sink=5", "miss")
+}
+
+// TestCacheRetentionOtherNetworkUntouched checks the sweep's scope: an
+// ingest into one network neither purges nor re-keys another network's
+// entries.
+func TestCacheRetentionOtherNetworkUntouched(t *testing.T) {
+	s := New(Config{CacheSize: 64, AllowIngest: true})
+	for _, name := range []string{"a", "b"} {
+		if err := s.AddNetwork(name, buildNet(t, 3, chainItems)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	get(t, ts, "/flow?net=b&source=0&sink=2", nil)
+	// Warm a too, so the sweep provably ran (its purge is observable) by
+	// the time we assert on b's entry.
+	get(t, ts, "/flow?net=a&source=0&sink=2", nil)
+	post(t, ts, "/ingest", IngestRequest{Network: "a", Interactions: []IngestInteraction{
+		{From: 0, To: 1, Time: 3, Qty: 1},
+	}}, nil)
+	derivedStatsOf(t, ts, func(d DerivedStats) bool { return d.CacheRetained+d.CachePurged > 0 })
+	if _, cacheHdr, _ := get(t, ts, "/flow?net=b&source=0&sink=2", nil); cacheHdr != "hit" {
+		t.Fatalf("network b's entry after an ingest into a: cache %q, want hit under its original key", cacheHdr)
+	}
+}
+
+// TestTablesUpdatedNotRebuilt pins the warm-table path: after a small
+// ingest, the next PB query patches the existing tables forward with
+// pattern.Tables.Update (table_updates increments) instead of running a
+// full precompute — and still finds the newly created instances.
+func TestTablesUpdatedNotRebuilt(t *testing.T) {
+	s := New(Config{CacheSize: 64, AllowIngest: true})
+	if err := s.AddNetwork("live", buildNet(t, 4, []tin.BatchItem{
+		{From: 0, To: 1, Time: 1, Qty: 5},
+		{From: 1, To: 0, Time: 2, Qty: 4},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	var pr PatternResult
+	get(t, ts, "/patterns?net=live&pattern=P2&mode=pb", &pr)
+	before := pr.Instances
+	if before == 0 {
+		t.Fatal("fixture has no P2 instance; test vacuous")
+	}
+	if d := derivedStatsOf(t, ts, nil); d.TableRebuilds != 1 || d.TableUpdates != 0 {
+		t.Fatalf("after first PB query: %+v, want exactly one rebuild", d)
+	}
+
+	// A small append (2 changed edges, far under the threshold): the next
+	// PB query must update, not rebuild, and see the new 2-cycle.
+	post(t, ts, "/ingest", IngestRequest{Network: "live", Interactions: []IngestInteraction{
+		{From: 2, To: 3, Time: 3, Qty: 5}, {From: 3, To: 2, Time: 4, Qty: 4},
+	}}, nil)
+	get(t, ts, "/patterns?net=live&pattern=P2&mode=pb", &pr)
+	if pr.Instances <= before {
+		t.Fatalf("instances after ingest = %d, want > %d", pr.Instances, before)
+	}
+	if d := derivedStatsOf(t, ts, nil); d.TableRebuilds != 1 || d.TableUpdates != 1 {
+		t.Fatalf("after post-ingest PB query: %+v, want the stale tables patched forward (1 rebuild, 1 update)", d)
+	}
+
+	// A reindex voids the accumulated delta: the next PB query rebuilds.
+	post(t, ts, "/ingest", IngestRequest{Network: "live", AllowOutOfOrder: true, Interactions: []IngestInteraction{
+		{From: 0, To: 1, Time: 0.5, Qty: 1},
+	}}, nil)
+	post(t, ts, "/ingest", IngestRequest{Network: "live", Reindex: true}, nil)
+	get(t, ts, "/patterns?net=live&pattern=P2&mode=pb", &pr)
+	if d := derivedStatsOf(t, ts, nil); d.TableRebuilds != 2 || d.TableUpdates != 1 {
+		t.Fatalf("after reindex PB query: %+v, want a rebuild (reindex re-ranked the canonical order)", d)
+	}
+}
+
+// TestTableUpdateThresholdDisables checks the -table-update-threshold
+// escape hatches: a negative threshold always rebuilds, and a delta larger
+// than the threshold falls back to a rebuild too.
+func TestTableUpdateThresholdDisables(t *testing.T) {
+	run := func(threshold int, ingest []IngestInteraction, wantUpdates, wantRebuilds uint64) {
+		t.Helper()
+		s := New(Config{CacheSize: 64, AllowIngest: true, TableUpdateThreshold: threshold})
+		if err := s.AddNetwork("live", buildNet(t, 8, []tin.BatchItem{
+			{From: 0, To: 1, Time: 1, Qty: 5},
+			{From: 1, To: 0, Time: 2, Qty: 4},
+		})); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		get(t, ts, "/patterns?net=live&pattern=P2&mode=pb", nil)
+		post(t, ts, "/ingest", IngestRequest{Network: "live", Interactions: ingest}, nil)
+		get(t, ts, "/patterns?net=live&pattern=P2&mode=pb", nil)
+		if d := derivedStatsOf(t, ts, nil); d.TableUpdates != wantUpdates || d.TableRebuilds != wantRebuilds {
+			t.Fatalf("threshold %d: derived stats %+v, want %d updates / %d rebuilds",
+				threshold, d, wantUpdates, wantRebuilds)
+		}
+	}
+
+	small := []IngestInteraction{{From: 2, To: 3, Time: 3, Qty: 5}}
+	// Negative threshold: incremental updates disabled outright.
+	run(-1, small, 0, 2)
+	// Threshold 1 with a 3-edge delta: over the limit, rebuild.
+	run(1, []IngestInteraction{
+		{From: 2, To: 3, Time: 3, Qty: 5},
+		{From: 3, To: 4, Time: 4, Qty: 5},
+		{From: 4, To: 5, Time: 5, Qty: 5},
+	}, 0, 2)
+	// Threshold 1 with a 1-edge delta: update.
+	run(1, small, 1, 1)
+}
+
+// TestTableBuildSingleFlight is the regression for the doubled first
+// build: tableCache.get used to run pattern.Precompute under no build
+// lock, so N concurrent first PB queries ran N full precomputes. The
+// single-flight guard must collapse them into exactly one build.
+func TestTableBuildSingleFlight(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{CacheSize: 0}) // cache off: every request computes
+	const concurrent = 8
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, _, body := get(t, ts, "/patterns?pattern=P2&mode=pb", nil)
+			if status != 200 {
+				t.Errorf("concurrent PB query: status %d (%s)", status, body)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.derived.tableRebuilds.Load(); got != 1 {
+		t.Fatalf("%d concurrent first PB queries ran %d table builds, want exactly 1 (single-flight)", concurrent, got)
+	}
+	if got := s.derived.tableUpdates.Load(); got != 0 {
+		t.Fatalf("concurrent first PB queries counted %d updates, want 0", got)
+	}
+}
+
+// TestMetricsExposeDerivedFamilies checks the Prometheus surface of the
+// derived-state counters.
+func TestMetricsExposeDerivedFamilies(t *testing.T) {
+	s := New(Config{CacheSize: 64, AllowIngest: true})
+	if err := s.AddNetwork("live", buildNet(t, 3, chainItems)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	get(t, ts, "/flow?net=live&source=0&sink=2", nil)
+	post(t, ts, "/ingest", IngestRequest{Network: "live", Interactions: []IngestInteraction{
+		{From: 0, To: 1, Time: 3, Qty: 1},
+	}}, nil)
+	derivedStatsOf(t, ts, func(d DerivedStats) bool { return d.CacheRetained+d.CachePurged > 0 })
+
+	status, _, body := get(t, ts, "/metrics", nil)
+	if status != 200 {
+		t.Fatalf("GET /metrics: status %d", status)
+	}
+	for _, want := range []string{
+		`flownet_table_refreshes_total{method="update"}`,
+		`flownet_table_refreshes_total{method="rebuild"}`,
+		`flownet_cache_sweep_entries_total{outcome="retained"}`,
+		`flownet_cache_sweep_entries_total{outcome="purged"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics is missing %q", want)
+		}
+	}
+}

@@ -103,6 +103,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		add("", float64(cs.Evictions))
 	})
 
+	p.family("flownet_table_refreshes_total", "Stale PB path tables brought current, by method (update = patched forward from the ingest delta, rebuild = full precompute).", "counter", func(add func(string, float64)) {
+		add(promLabel("method", "update"), float64(s.derived.tableUpdates.Load()))
+		add(promLabel("method", "rebuild"), float64(s.derived.tableRebuilds.Load()))
+	})
+	p.family("flownet_cache_sweep_entries_total", "Cached responses processed by the post-ingest retention sweep, by outcome (retained = re-keyed to the new generation, purged = dropped).", "counter", func(add func(string, float64)) {
+		add(promLabel("outcome", "retained"), float64(s.derived.cacheRetained.Load()))
+		add(promLabel("outcome", "purged"), float64(s.derived.cachePurged.Load()))
+	})
+
 	st := s.store.Stats()
 	p.family("flownet_store_wal_appends_total", "WAL records written across all networks.", "counter", func(add func(string, float64)) {
 		add("", float64(st.WALAppends))

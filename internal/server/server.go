@@ -25,10 +25,13 @@
 // Network ownership lives in internal/store, not here: the store is the
 // catalog (registration, lookup, ingestion, durability) and this package
 // is only the HTTP surface over it. Cache invalidation and PB-table
-// staleness are driven by the store's change notifications — every
-// generation bump purges that network's memoized responses, and the
-// generation tag on the lazily built pattern tables triggers their rebuild
-// on the next query.
+// staleness are driven by the store's delta-bearing change notifications
+// (store.SubscribeDelta): a generation bump re-keys memoized responses
+// whose recorded read footprint provably missed the ingested edges (and
+// drops only the rest), and the lazily built pattern tables are patched
+// forward with pattern.Tables.Update for small deltas instead of being
+// rebuilt from scratch. See derived.go for the machinery and /stats
+// "derived" for the update/rebuild and retained/purged counters.
 package server
 
 import (
@@ -111,6 +114,13 @@ type Config struct {
 	// unboundedly. 0 disables admission control. Health and stats endpoints
 	// are never shed.
 	MaxInFlight int
+	// TableUpdateThreshold bounds the accumulated changed-edge count up to
+	// which stale PB path tables are patched forward with
+	// pattern.Tables.Update on the next query; larger deltas (or a
+	// reindex, which re-ranks the edge order) rebuild the tables from
+	// scratch. 0 selects the default (256); negative disables incremental
+	// updates entirely (every stale table rebuilds).
+	TableUpdateThreshold int
 }
 
 // Server serves flow and pattern queries over the networks owned by its
@@ -121,7 +131,7 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	store   *store.Store
-	cache   *cache.Cache[string, []byte]
+	cache   *cache.Cache[string, cachedResponse]
 	started time.Time
 	metrics map[string]*endpointMetrics
 	// inflight is the admission semaphore of the query routes (nil =
@@ -130,100 +140,25 @@ type Server struct {
 	inflight chan struct{}
 	panics   atomic.Uint64
 
-	// tables caches the lazily built PB path tables per shard. This is
-	// derived, rebuildable state — the store owns the networks themselves.
+	// tableThreshold is Config.TableUpdateThreshold with the default
+	// resolved; derived holds the update/rebuild and retained/purged
+	// counters (see derived.go).
+	tableThreshold int
+	derived        derivedStats
+
+	// tables caches the lazily built PB path tables per network name. This
+	// is derived, rebuildable state — the store owns the networks
+	// themselves.
 	tablesMu sync.Mutex
-	tables   map[*store.Shard]*tableCache
+	tables   map[string]*tableCache
 
-	// dirty collects networks whose cached responses await purging; a
-	// single drainer goroutine (purging) coalesces bursts so ingest-heavy
-	// traffic runs at most one cache scan at a time.
+	// dirty accumulates, per network, the coalesced delta of every
+	// generation bump since the last retention sweep; a single sweeper
+	// goroutine (purging) coalesces bursts so ingest-heavy traffic runs at
+	// most one cache scan at a time. See derived.go.
 	dirtyMu sync.Mutex
-	dirty   map[string]bool
+	dirty   map[string]*sweepDelta
 	purging bool
-}
-
-// markDirty queues an asynchronous purge of one network's cached
-// responses. Called from the store's change notification, which fires
-// with the network's write lock held — the scan must not run there.
-// Eagerness is an optimization only: cache keys carry the generation, so
-// the bump already made every stale entry unreachable.
-func (s *Server) markDirty(name string) {
-	s.dirtyMu.Lock()
-	s.dirty[name] = true
-	spawn := !s.purging
-	s.purging = true
-	s.dirtyMu.Unlock()
-	if spawn {
-		go s.purgeDirty()
-	}
-}
-
-// purgeDirty drains the dirty set, one full cache scan per distinct
-// network, and exits when the set is empty.
-func (s *Server) purgeDirty() {
-	for {
-		s.dirtyMu.Lock()
-		var name string
-		found := false
-		for n := range s.dirty {
-			name, found = n, true
-			break
-		}
-		if !found {
-			s.purging = false
-			s.dirtyMu.Unlock()
-			return
-		}
-		delete(s.dirty, name)
-		s.dirtyMu.Unlock()
-		s.invalidateNetwork(name)
-	}
-}
-
-// tableCache is one shard's lazily built, generation-tagged PB path
-// tables.
-type tableCache struct {
-	mu     sync.Mutex
-	tables pattern.Tables
-	// gen is the generation the cached tables were built for; 0 means
-	// never built. Ingestion bumps the network generation, so stale tables
-	// are detected and rebuilt on the next PB query.
-	gen uint64
-}
-
-// get returns the PB path tables for generation gen of n (with the C2
-// chain table included, so every catalogue pattern has a PB plan),
-// rebuilding them when ingestion has advanced the network past the cached
-// build. Callers must hold the shard's stream read lock, so n cannot
-// change underneath the build.
-func (tc *tableCache) get(n *tin.Network, gen uint64) pattern.Tables {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if tc.gen != gen {
-		tc.tables = pattern.Precompute(n, true)
-		tc.gen = gen
-	}
-	return tc.tables
-}
-
-// ready reports whether the cached tables match generation gen.
-func (tc *tableCache) ready(gen uint64) bool {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	return tc.gen == gen
-}
-
-// tablesFor returns (lazily creating) the table cache of a shard.
-func (s *Server) tablesFor(sh *store.Shard) *tableCache {
-	s.tablesMu.Lock()
-	defer s.tablesMu.Unlock()
-	tc, ok := s.tables[sh]
-	if !ok {
-		tc = &tableCache{}
-		s.tables[sh] = tc
-	}
-	return tc
 }
 
 // routes lists every instrumented endpoint, in /stats display order.
@@ -231,8 +166,10 @@ var routes = []string{"/flow", "/flow/batch", "/patterns", "/ingest", "/networks
 
 // New creates a server over cfg.Store (or a fresh in-memory store when
 // nil). Every change the store accepts — from this server's /ingest or
-// from any other store client — purges that network's cached responses.
-// The subscription lasts for the store's lifetime (store.Subscribe has no
+// from any other store client — drives that network's derived state: the
+// PB table cache accumulates the changed edges and the retention sweep
+// re-keys or drops cached responses (see derived.go). The subscription
+// lasts for the store's lifetime (store.SubscribeDelta has no
 // unsubscribe), so create at most one server per store and let them share
 // that lifetime; a discarded server would otherwise stay pinned by the
 // store's callback list.
@@ -244,13 +181,17 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		store:   st,
-		cache:   cache.New[string, []byte](cfg.CacheSize),
+		cache:   cache.New[string, cachedResponse](cfg.CacheSize),
 		started: time.Now(),
 		metrics: make(map[string]*endpointMetrics, len(routes)),
-		tables:  make(map[*store.Shard]*tableCache),
-		dirty:   make(map[string]bool),
+		tables:  make(map[string]*tableCache),
+		dirty:   make(map[string]*sweepDelta),
 	}
-	st.Subscribe(func(name string, _ uint64) { s.markDirty(name) })
+	s.tableThreshold = cfg.TableUpdateThreshold
+	if s.tableThreshold == 0 {
+		s.tableThreshold = defaultTableUpdateThreshold
+	}
+	st.SubscribeDelta(s.onStoreDelta)
 	for _, r := range routes {
 		s.metrics[r] = &endpointMetrics{}
 	}
@@ -401,7 +342,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // cancelled request context is served but never cached either — a handler
 // that happened to finish right at the deadline must not plant a result
 // the timed-out path would have refused to compute.
-func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, v any) {
+//
+// foot is the answer's read footprint (ascending vertex ids; nil =
+// unknown), recorded with the entry so the retention sweep can keep it
+// alive across ingests that provably missed it (see derived.go). Large
+// footprints are demoted to unknown by clampFootprint.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, foot []tin.VertexID, v any) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "encoding response: %v", err)
@@ -409,7 +355,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, key string, v a
 	}
 	body = append(body, '\n')
 	if key != "" && len(body) <= maxCachedBytes && r.Context().Err() == nil {
-		s.cache.Put(key, body)
+		s.cache.Put(key, cachedResponse{body: body, foot: clampFootprint(foot)})
 	}
 	writeRaw(w, http.StatusOK, body, "miss")
 }
@@ -427,12 +373,12 @@ func writeCtxError(w http.ResponseWriter, err error) {
 
 // serveCached replays a memoized response if one exists.
 func (s *Server) serveCached(w http.ResponseWriter, route, key string) bool {
-	body, ok := s.cache.Get(key)
+	v, ok := s.cache.Get(key)
 	if !ok {
 		return false
 	}
 	s.metrics[route].cacheHits.Add(1)
-	writeRaw(w, http.StatusOK, body, "hit")
+	writeRaw(w, http.StatusOK, v.body, "hit")
 	return true
 }
 
@@ -562,7 +508,10 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res := FlowResult{Network: sh.Name(), Query: "seed", Seed: int(seed)}
-		g, ok := n.ExtractSubgraph(seed, opts)
+		// The footprint variant also reports every vertex the bounded DFS
+		// iterated — the staleness certificate under which the retention
+		// sweep may keep this answer alive across ingests.
+		g, ok, foot := n.ExtractSubgraphFootprint(seed, opts)
 		if ok {
 			if window {
 				g = g.RestrictWindow(from, to)
@@ -576,7 +525,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		s.respond(w, r, key, res)
+		s.respond(w, r, key, foot, res)
 		return
 	}
 
@@ -603,7 +552,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := FlowResult{Network: sh.Name(), Query: "pair", Source: int(src), Sink: int(snk)}
-	g, ok := n.FlowSubgraphBetween(src, snk)
+	g, ok, foot := n.FlowSubgraphBetweenFootprint(src, snk)
 	if ok {
 		if window {
 			g = g.RestrictWindow(from, to)
@@ -617,7 +566,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.respond(w, r, key, res)
+	s.respond(w, r, key, foot, res)
 }
 
 // solveFlow runs the PreSim pipeline on g (or the time-expanded engine when
@@ -721,6 +670,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	// Batch answers carry no footprint (the union over many seeds would
+	// rarely survive retention); they fall back to purge-on-change.
 	res := BatchResult{Network: sh.Name(), Results: make([]SeedFlowResult, len(results))}
 	for i, sr := range results {
 		res.Results[i] = SeedFlowResult{Seed: int(sr.Seed), Ok: sr.Ok}
@@ -731,7 +682,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			res.TotalFlow += sr.Flow
 		}
 	}
-	s.respond(w, r, key, res)
+	s.respond(w, r, key, nil, res)
 }
 
 // handlePatterns answers GET /patterns: one catalogue pattern search, PB
@@ -798,7 +749,8 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.respond(w, r, key, PatternResult{
+	// Pattern answers depend on anchors network-wide; no useful footprint.
+	s.respond(w, r, key, nil, PatternResult{
 		Network:   sh.Name(),
 		Pattern:   sum.Pattern,
 		Mode:      mode,
@@ -828,6 +780,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			WALFsyncs:  st.WALFsyncs,
 			Snapshots:  st.Snapshots,
 			Recoveries: st.Recoveries,
+		},
+		Derived: DerivedStats{
+			TableUpdates:  s.derived.tableUpdates.Load(),
+			TableRebuilds: s.derived.tableRebuilds.Load(),
+			CacheRetained: s.derived.cacheRetained.Load(),
+			CachePurged:   s.derived.cachePurged.Load(),
 		},
 	}
 	res.Panics = s.panics.Load()
@@ -945,11 +903,13 @@ func (s *Server) handleCreateNetwork(w http.ResponseWriter, r *http.Request) {
 // handleIngest answers POST /ingest: append a time-ordered interaction
 // batch to a loaded network (and/or merge its pending out-of-order buffer
 // when Reindex is set). Gated by Config.AllowIngest. The store both makes
-// the batch durable (WAL, on a durable store) and drives the cache purge:
-// its change notification fires for every append that changed what queries
-// can observe, dropping that network's cached answers — and only that
-// network's. Their bumped generation would make them unreachable anyway,
-// but dropping them eagerly frees the LRU slots.
+// the batch durable (WAL, on a durable store) and drives the derived
+// state: its delta-bearing change notification fires for every append
+// that changed what queries can observe, feeding the PB table cache's
+// pending-edge union and the retention sweep that re-keys cached answers
+// the delta provably missed (dropping only the rest) — and only that
+// network's. The bumped generation would make stale entries unreachable
+// anyway; the sweep either frees their LRU slots or keeps them serving.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !s.cfg.AllowIngest {
 		writeError(w, http.StatusForbidden, "ingestion disabled (start flownetd with -allow-ingest)")
@@ -1026,14 +986,4 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	res.Pending = sh.Pending()
 	writeJSON(w, http.StatusOK, res)
-}
-
-// invalidateNetwork drops every cached answer of one network. Keys are
-// "<kind>|<network>|g<gen>|..." and network names cannot contain '|', so
-// matching on the second field is exact.
-func (s *Server) invalidateNetwork(name string) {
-	s.cache.DeleteFunc(func(key string) bool {
-		_, rest, ok := strings.Cut(key, "|")
-		return ok && strings.HasPrefix(rest, name+"|")
-	})
 }

@@ -185,6 +185,18 @@ type StoreStats struct {
 	Recoveries uint64 `json:"recoveries"`
 }
 
+// DerivedStats counts how the server maintained its derived state across
+// ingests: whether stale PB path tables were patched forward
+// (table_updates) or rebuilt from scratch (table_rebuilds), and how many
+// cached responses the retention sweep re-keyed to the new generation
+// (cache_retained) versus dropped (cache_purged).
+type DerivedStats struct {
+	TableUpdates  uint64 `json:"table_updates"`
+	TableRebuilds uint64 `json:"table_rebuilds"`
+	CacheRetained uint64 `json:"cache_retained"`
+	CachePurged   uint64 `json:"cache_purged"`
+}
+
 // StatsResult is the response of GET /stats.
 type StatsResult struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
@@ -192,6 +204,7 @@ type StatsResult struct {
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 	Cache         cache.Stats              `json:"cache"`
 	Store         StoreStats               `json:"store"`
+	Derived       DerivedStats             `json:"derived"`
 	// Panics counts handler panics converted to 500s by the recovery
 	// middleware since startup. Any non-zero value deserves a look at the
 	// server log, which carries the stacks.

@@ -158,7 +158,7 @@ type Store struct {
 	reserved map[string]bool
 
 	subMu sync.RWMutex
-	subs  []func(name string, gen uint64)
+	subs  []func(name string, gen uint64, delta stream.Delta)
 
 	walAppends atomic.Uint64
 	walFsyncs  atomic.Uint64
@@ -254,13 +254,30 @@ func (s *Store) abortOpen() {
 
 // Subscribe registers fn to be called after every change that bumps a
 // network's generation (append, reindex, grow) with the network's name and
-// new generation. Callbacks run on the mutating goroutine with the
-// network's write lock held: they must be fast and must not query the
-// store. Recovery replay does not notify (it happens before Subscribe can
-// be called on the returned store). Subscriptions last for the store's
-// lifetime — there is no unsubscribe — so a subscriber must live as long
-// as the store (one Server per Store, as cmd/flownetd does).
+// new generation. It is SubscribeDelta for subscribers that only care that
+// something changed, not what; the same callback contract applies.
 func (s *Store) Subscribe(fn func(name string, gen uint64)) {
+	if fn == nil {
+		return
+	}
+	s.SubscribeDelta(func(name string, gen uint64, _ stream.Delta) { fn(name, gen) })
+}
+
+// SubscribeDelta registers fn to be called after every change that bumps a
+// network's generation (append, reindex, grow) with the network's name, new
+// generation, and the change delta (see stream.Delta) — the hook through
+// which derived state (pattern tables, memoized answers) is maintained
+// incrementally instead of rebuilt. Callbacks run on the mutating goroutine
+// with the network's write lock held: they must be fast and must not query
+// the store. Because the lock is still held, a reader that later observes
+// generation g has a guarantee that the callback already ran for every bump
+// up to g — delta consumers can therefore keep an exact per-network change
+// accumulator with no gaps. Recovery replay does not notify (it happens
+// before SubscribeDelta can be called on the returned store).
+// Subscriptions last for the store's lifetime — there is no unsubscribe —
+// so a subscriber must live as long as the store (one Server per Store, as
+// cmd/flownetd does).
+func (s *Store) SubscribeDelta(fn func(name string, gen uint64, delta stream.Delta)) {
 	if fn == nil {
 		return
 	}
@@ -269,11 +286,11 @@ func (s *Store) Subscribe(fn func(name string, gen uint64)) {
 	s.subs = append(s.subs, fn)
 }
 
-func (s *Store) notify(name string, gen uint64) {
+func (s *Store) notify(name string, gen uint64, delta stream.Delta) {
 	s.subMu.RLock()
 	defer s.subMu.RUnlock()
 	for _, fn := range s.subs {
-		fn(name, gen)
+		fn(name, gen, delta)
 	}
 }
 
@@ -430,7 +447,7 @@ func (s *Store) Add(name string, n *tin.Network) (*Shard, error) {
 // Callers hold s.mu and have verified the name is free.
 func (s *Store) finishRegister(sh *Shard) {
 	name := sh.name
-	sh.live.SetOnChange(func(gen uint64) { s.notify(name, gen) })
+	sh.live.SetOnChange(func(gen uint64, delta stream.Delta) { s.notify(name, gen, delta) })
 	s.shards[name] = sh
 }
 

@@ -923,3 +923,61 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestSubscribeDelta checks that the store forwards the stream layer's
+// change deltas verbatim: edge ids + endpoints for appends, Full for
+// reindexes, an empty delta for growth — tagged with the right network.
+func TestSubscribeDelta(t *testing.T) {
+	s := openTestStore(t, Config{})
+	type ev struct {
+		name  string
+		gen   uint64
+		delta stream.Delta
+	}
+	var mu sync.Mutex
+	var evs []ev
+	s.SubscribeDelta(func(name string, gen uint64, delta stream.Delta) {
+		mu.Lock()
+		evs = append(evs, ev{name, gen, delta})
+		mu.Unlock()
+	})
+	sh, err := s.Create("live", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 1, Qty: 1}), stream.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range endpoints with Grow: one growth bump (empty delta)
+	// followed by the append bump carrying the new edge.
+	if _, err := sh.Append(items(stream.Item{From: 2, To: 3, Time: 2, Qty: 1}), stream.Options{Grow: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Append(items(stream.Item{From: 0, To: 1, Time: 0.5, Qty: 1}), stream.Options{OnOutOfOrder: stream.PolicyDefer}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	got := append([]ev(nil), evs...)
+	mu.Unlock()
+	if len(got) != 4 {
+		t.Fatalf("notifications = %+v, want 4 (append, grow, append, reindex; the parked append must not notify)", got)
+	}
+	if d := got[0].delta; got[0].name != "live" || d.Full || len(d.Edges) != 1 || d.Edges[0] != 0 ||
+		len(d.Vertices) != 2 || d.Vertices[0] != 0 || d.Vertices[1] != 1 {
+		t.Fatalf("append notification = %+v, want edge 0 with endpoints [0 1] on live", got[0])
+	}
+	if d := got[1].delta; d.Full || len(d.Edges) != 0 || len(d.Vertices) != 0 {
+		t.Fatalf("grow notification = %+v, want an empty delta", got[1])
+	}
+	if d := got[2].delta; d.Full || len(d.Edges) != 1 || d.Edges[0] != 1 ||
+		len(d.Vertices) != 2 || d.Vertices[0] != 2 || d.Vertices[1] != 3 {
+		t.Fatalf("grown-append notification = %+v, want edge 1 with endpoints [2 3]", got[2])
+	}
+	if d := got[3].delta; !d.Full {
+		t.Fatalf("reindex notification = %+v, want Full", got[3])
+	}
+}

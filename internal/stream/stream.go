@@ -21,6 +21,11 @@
 //     arrivals are detected per item and — under PolicyDefer — parked in a
 //     pending buffer that an explicit Reindex merges with one full re-rank;
 //     under PolicyReject (the default) their batch fails atomically.
+//   - Every generation bump is announced to the SetOnChange callback with
+//     a Delta saying exactly what changed (the touched edges and their
+//     endpoints for an append, Full for a reindex, empty for isolated
+//     vertex growth), so derived state — PB pattern tables, memoized query
+//     answers — can be maintained incrementally instead of rebuilt.
 //
 // Appends never make a half-applied state visible: validation happens
 // before mutation, and the write lock is held for the whole batch.
@@ -29,6 +34,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"flownet/internal/tin"
@@ -73,6 +79,27 @@ type Result struct {
 	Generation uint64
 }
 
+// Delta describes what one generation bump changed, precisely enough for
+// derived state (pattern tables, memoized query answers) to be maintained
+// incrementally instead of rebuilt. Exactly one of three shapes occurs:
+//
+//   - An append: Edges lists the distinct ids of edges that are new or
+//     received new interactions, Vertices their distinct endpoints, both
+//     ascending. Existing edge ids and the relative canonical order of
+//     existing interactions are preserved, which is the precondition of
+//     pattern.Tables.Update.
+//   - A reindex: Full is true and Edges/Vertices are nil. The canonical
+//     order was re-ranked wholesale, so per-edge deltas cannot describe the
+//     change — consumers must rebuild.
+//   - A vertex growth: Full is false and Edges/Vertices are empty. The new
+//     vertices are isolated, so edge-derived state is unaffected, but the
+//     vertex count itself is query-observable.
+type Delta struct {
+	Edges    []tin.EdgeID
+	Vertices []tin.VertexID
+	Full     bool
+}
+
 // Network is a live-updatable temporal interaction network: a finalized
 // tin.Network plus the synchronization and versioning that let appends and
 // queries interleave safely. All methods are safe for concurrent use.
@@ -83,7 +110,7 @@ type Network struct {
 	pending []Item
 	// onChange, when set, is invoked after every generation bump, with the
 	// write lock still held (see SetOnChange).
-	onChange func(gen uint64)
+	onChange func(gen uint64, delta Delta)
 }
 
 // Wrap makes a finalized network live-updatable. The caller must not use n
@@ -107,19 +134,23 @@ func WrapAt(n *tin.Network, gen uint64) (*Network, error) {
 }
 
 // SetOnChange registers fn to be called after every operation that bumps
-// the generation (append, reindex, grow), with the new generation. The
-// callback runs while the network's write lock is still held, so that no
-// change can be observed before its notification: fn must be fast and must
-// not call back into the network. Pass nil to unregister. Not safe to call
-// concurrently with appends; register before the network goes live.
-func (s *Network) SetOnChange(fn func(gen uint64)) { s.onChange = fn }
+// the generation (append, reindex, grow), with the new generation and the
+// change delta describing it (see Delta). The callback runs while the
+// network's write lock is still held, so that no change can be observed
+// before its notification — a reader that observes generation g under the
+// read lock is guaranteed the callback already fired for every bump up to
+// and including g, which is what lets delta consumers accumulate an exact
+// per-generation change log. fn must be fast and must not call back into
+// the network. Pass nil to unregister. Not safe to call concurrently with
+// appends; register before the network goes live.
+func (s *Network) SetOnChange(fn func(gen uint64, delta Delta)) { s.onChange = fn }
 
-// bump increments the generation and notifies the change listener. Callers
-// must hold the write lock.
-func (s *Network) bump() {
+// bump increments the generation and notifies the change listener with the
+// bump's delta. Callers must hold the write lock.
+func (s *Network) bump(delta Delta) {
 	s.gen++
 	if s.onChange != nil {
-		s.onChange(s.gen)
+		s.onChange(s.gen, delta)
 	}
 }
 
@@ -173,7 +204,7 @@ func (s *Network) Grow(numV int) (gen uint64, grew bool) {
 		return s.gen, false
 	}
 	s.net.GrowVertices(numV)
-	s.bump()
+	s.bump(Delta{}) // isolated vertices: nothing edge-derived changes
 	return s.gen, true
 }
 
@@ -245,7 +276,7 @@ func (s *Network) Append(items []Item, opts Options) (Result, error) {
 			// listings), so growing bumps the generation on its own — even
 			// if the rest of the batch is later rejected, the grown space
 			// stays and cached answers for the old shape must die.
-			s.bump()
+			s.bump(Delta{})
 		}
 	}
 
@@ -278,7 +309,7 @@ func (s *Network) Append(items []Item, opts Options) (Result, error) {
 			return Result{Generation: s.gen}, fmt.Errorf("stream: deferred item %d: %w", i, cerr)
 		}
 	}
-	appended, err := s.net.AppendBatch(apply)
+	appended, changed, err := s.net.AppendBatchDelta(apply)
 	if err != nil {
 		return Result{Generation: s.gen}, err
 	}
@@ -286,10 +317,31 @@ func (s *Network) Append(items []Item, opts Options) (Result, error) {
 	res.Appended = appended
 	res.Deferred = len(parked)
 	if res.Appended > 0 {
-		s.bump()
+		s.bump(Delta{Edges: changed, Vertices: s.endpointsOf(changed)})
 	}
 	res.Generation = s.gen
 	return res, nil
+}
+
+// endpointsOf flattens the changed edges' endpoints into a distinct,
+// ascending vertex list — the touched-vertex side of an append Delta.
+// Callers hold the write lock.
+func (s *Network) endpointsOf(edges []tin.EdgeID) []tin.VertexID {
+	if len(edges) == 0 {
+		return nil
+	}
+	set := make(map[tin.VertexID]struct{}, 2*len(edges))
+	for _, e := range edges {
+		ed := s.net.Edge(e)
+		set[ed.From] = struct{}{}
+		set[ed.To] = struct{}{}
+	}
+	verts := make([]tin.VertexID, 0, len(set))
+	for v := range set {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(a, b int) bool { return verts[a] < verts[b] })
+	return verts
 }
 
 // Reindex merges the pending out-of-order interactions into the live
@@ -312,7 +364,10 @@ func (s *Network) Reindex() (Result, error) {
 	}
 	s.pending = nil
 	if appended > 0 {
-		s.bump()
+		// A reindex re-ranks the whole canonical order, so no per-edge
+		// delta can describe it: consumers must treat every derived answer
+		// as stale.
+		s.bump(Delta{Full: true})
 	}
 	return Result{Appended: appended, Generation: s.gen}, nil
 }

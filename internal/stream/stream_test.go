@@ -302,11 +302,17 @@ func tinFinalized(numV int) *tin.Network {
 
 // TestOnChangeNotifications checks that every generation bump — append,
 // grow (even inside a failed batch), reindex — fires the change callback
-// exactly once with the new generation.
+// exactly once with the new generation and the right delta shape: changed
+// edges plus their endpoints for appends, an empty delta for growth, and
+// Full for reindexes.
 func TestOnChangeNotifications(t *testing.T) {
 	s := NewEmpty(2)
-	var gens []uint64
-	s.SetOnChange(func(gen uint64) { gens = append(gens, gen) })
+	type note struct {
+		gen   uint64
+		delta Delta
+	}
+	var notes []note
+	s.SetOnChange(func(gen uint64, delta Delta) { notes = append(notes, note{gen, delta}) })
 
 	if _, err := s.Append([]Item{{From: 0, To: 1, Time: 1, Qty: 5}}, Options{}); err != nil {
 		t.Fatal(err)
@@ -324,13 +330,26 @@ func TestOnChangeNotifications(t *testing.T) {
 	}
 
 	want := []uint64{2, 3, 4}
-	if len(gens) != len(want) {
-		t.Fatalf("notifications = %v, want %v", gens, want)
+	if len(notes) != len(want) {
+		t.Fatalf("notifications = %+v, want generations %v", notes, want)
 	}
 	for i := range want {
-		if gens[i] != want[i] {
-			t.Fatalf("notifications = %v, want %v", gens, want)
+		if notes[i].gen != want[i] {
+			t.Fatalf("notifications = %+v, want generations %v", notes, want)
 		}
+	}
+	// Append of the single interaction 0→1: edge 0, endpoints {0, 1}.
+	if d := notes[0].delta; d.Full || len(d.Edges) != 1 || d.Edges[0] != 0 ||
+		len(d.Vertices) != 2 || d.Vertices[0] != 0 || d.Vertices[1] != 1 {
+		t.Fatalf("append delta = %+v, want edge 0 with endpoints [0 1]", notes[0].delta)
+	}
+	// Growth: empty delta (the new vertices are isolated).
+	if d := notes[1].delta; d.Full || len(d.Edges) != 0 || len(d.Vertices) != 0 {
+		t.Fatalf("grow delta = %+v, want empty", notes[1].delta)
+	}
+	// Reindex: full invalidation, no per-edge detail.
+	if d := notes[2].delta; !d.Full || d.Edges != nil || d.Vertices != nil {
+		t.Fatalf("reindex delta = %+v, want Full", notes[2].delta)
 	}
 }
 

@@ -105,11 +105,24 @@ func (n *Network) Append(from, to VertexID, t, q float64) error {
 // canonical ranks, which is exactly where the (Time, insertion index) sort
 // would have placed them.
 func (n *Network) AppendBatch(items []BatchItem) (int, error) {
+	appended, _, err := n.AppendBatchDelta(items)
+	return appended, err
+}
+
+// AppendBatchDelta is AppendBatch, additionally reporting which edges the
+// batch touched: the distinct ids, in ascending order, of edges that are
+// new or received new interactions. Because appends preserve existing edge
+// ids and the relative canonical order of existing interactions, the
+// returned delta is exactly what incremental derived-state maintenance
+// needs — pattern.Tables.Update takes it verbatim, and the endpoints of the
+// changed edges bound which cached query answers can differ on the new
+// network state.
+func (n *Network) AppendBatchDelta(items []BatchItem) (int, []EdgeID, error) {
 	if !n.finalized {
-		return 0, errors.New("tin: AppendBatch before Finalize")
+		return 0, nil, errors.New("tin: AppendBatch before Finalize")
 	}
 	if n.needsReindex {
-		return 0, errors.New("tin: AppendBatch on a network awaiting Reindex")
+		return 0, nil, errors.New("tin: AppendBatch on a network awaiting Reindex")
 	}
 	last := n.maxTime
 	for i, it := range items {
@@ -117,16 +130,16 @@ func (n *Network) AppendBatch(items []BatchItem) (int, error) {
 			continue
 		}
 		if err := n.CheckItem(it); err != nil {
-			return 0, fmt.Errorf("tin: batch item %d: %w", i, err)
+			return 0, nil, fmt.Errorf("tin: batch item %d: %w", i, err)
 		}
 		if it.Time < last {
-			return 0, fmt.Errorf("tin: batch item %d at time %v precedes latest time %v: %w",
+			return 0, nil, fmt.Errorf("tin: batch item %d at time %v precedes latest time %v: %w",
 				i, it.Time, last, ErrOutOfOrder)
 		}
 		last = it.Time
 	}
-	appended, _ := n.applyAppend(items)
-	return appended, nil
+	appended, _, changed := n.applyAppend(items)
+	return appended, changed, nil
 }
 
 // AppendUnordered admits interactions regardless of their position in time.
@@ -147,7 +160,7 @@ func (n *Network) AppendUnordered(items []BatchItem) (int, error) {
 			return 0, fmt.Errorf("tin: batch item %d: %w", i, err)
 		}
 	}
-	appended, anyLate := n.applyAppend(items)
+	appended, anyLate, _ := n.applyAppend(items)
 	if anyLate {
 		n.needsReindex = true
 	}

@@ -155,10 +155,13 @@ func (n *Network) detach() {
 // applyAppend extends a finalized network with pre-validated items by
 // rebuilding the CSR arena with the new interactions in place — the
 // re-finalize step behind every streaming generation bump. Self loops are
-// skipped. It returns the number of interactions appended and whether any
+// skipped. It returns the number of interactions appended, whether any
 // appended item was out of time order relative to the evolving maximum
-// timestamp (the caller decides whether that is legal).
-func (n *Network) applyAppend(items []BatchItem) (appended int, anyLate bool) {
+// timestamp (the caller decides whether that is legal), and the distinct
+// ids of the edges that are new or received new interactions, in ascending
+// order — the change delta that incremental consumers (pattern-table
+// updates, footprint-based cache retention) key on.
+func (n *Network) applyAppend(items []BatchItem) (appended int, anyLate bool, changed []EdgeID) {
 	apply := items[:0:0]
 	for _, it := range items {
 		if it.From != it.To {
@@ -166,7 +169,7 @@ func (n *Network) applyAppend(items []BatchItem) (appended int, anyLate bool) {
 		}
 	}
 	if len(apply) == 0 {
-		return 0, false
+		return 0, false, nil
 	}
 	n.detach()
 
@@ -241,7 +244,15 @@ func (n *Network) applyAppend(items []BatchItem) (appended int, anyLate bool) {
 		n.buildAdjacency()
 		n.buildPairIndex()
 	}
-	return len(apply), anyLate
+	// addCount marks exactly the edges whose runs grew (it was sized per
+	// resolved edge above), so the distinct changed set falls out of one
+	// ascending scan.
+	for e, c := range addCount {
+		if c > 0 {
+			changed = append(changed, EdgeID(e))
+		}
+	}
+	return len(apply), anyLate, changed
 }
 
 // csrReindex re-derives the canonical order of a finalized network in

@@ -39,6 +39,22 @@ func DefaultExtractOptions() ExtractOptions {
 // ExtractSubgraph returns (nil, false) if the seed has no returning path,
 // or if the subgraph exceeds opts.MaxInteractions interactions.
 func (n *Network) ExtractSubgraph(seed VertexID, opts ExtractOptions) (*Graph, bool) {
+	g, ok, _ := n.ExtractSubgraphFootprint(seed, opts)
+	return g, ok
+}
+
+// ExtractSubgraphFootprint is ExtractSubgraph, additionally reporting the
+// query's read footprint: the ascending set of vertices whose outgoing
+// adjacency the path enumeration iterated. The footprint is a staleness
+// certificate for caching the answer across appends — including negative
+// answers (no returning path, or the interaction cap exceeded): every edge
+// of every candidate path departs from an iterated vertex, and a vertex
+// never iterated was only ever reached at the hop limit, so an append that
+// touches no footprint vertex cannot add, remove, or resize any admissible
+// path, and the (graph, ok) answer on the grown network is identical.
+// Appends only ever add interactions, so the footprint is returned for
+// unsuccessful extractions too.
+func (n *Network) ExtractSubgraphFootprint(seed VertexID, opts ExtractOptions) (*Graph, bool, []VertexID) {
 	if !n.finalized {
 		panic("tin: ExtractSubgraph before Finalize")
 	}
@@ -52,6 +68,7 @@ func (n *Network) ExtractSubgraph(seed VertexID, opts ExtractOptions) (*Graph, b
 	// Collect candidate returning paths as slices of edge ids, in
 	// deterministic DFS order over adjacency lists.
 	var paths [][]EdgeID
+	iterated := map[VertexID]bool{seed: true}
 	var dfs func(v VertexID, depth int, edges []EdgeID, onPath map[VertexID]bool)
 	dfs = func(v VertexID, depth int, edges []EdgeID, onPath map[VertexID]bool) {
 		for _, e := range n.OutEdges(v) {
@@ -68,14 +85,16 @@ func (n *Network) ExtractSubgraph(seed VertexID, opts ExtractOptions) (*Graph, b
 			if depth+1 >= opts.MaxHops || onPath[u] {
 				continue
 			}
+			iterated[u] = true
 			onPath[u] = true
 			dfs(u, depth+1, append(edges, e), onPath)
 			delete(onPath, u)
 		}
 	}
 	dfs(seed, 0, nil, map[VertexID]bool{seed: true})
+	foot := sortedVertexSet(iterated)
 	if len(paths) == 0 {
-		return nil, false
+		return nil, false, foot
 	}
 
 	// Admit paths one by one, skipping any path whose inner edges would
@@ -104,7 +123,7 @@ func (n *Network) ExtractSubgraph(seed VertexID, opts ExtractOptions) (*Graph, b
 		}
 	}
 	if len(edgeSet) == 0 {
-		return nil, false
+		return nil, false, foot
 	}
 
 	ids := make([]EdgeID, 0, len(edgeSet))
@@ -114,10 +133,20 @@ func (n *Network) ExtractSubgraph(seed VertexID, opts ExtractOptions) (*Graph, b
 		total += len(n.edges[id].Seq)
 	}
 	if opts.MaxInteractions > 0 && total > opts.MaxInteractions {
-		return nil, false
+		return nil, false, foot
 	}
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	return n.BuildFlowGraph(ids, seed, seed), true
+	return n.BuildFlowGraph(ids, seed, seed), true, foot
+}
+
+// sortedVertexSet flattens a vertex set into an ascending slice.
+func sortedVertexSet(set map[VertexID]bool) []VertexID {
+	vs := make([]VertexID, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+	return vs
 }
 
 // BuildFlowGraph assembles a flow-computation Graph from a set of network
@@ -194,6 +223,21 @@ func (n *Network) BuildFlowGraph(edgeIDs []EdgeID, source, sink VertexID) *Graph
 // Greedy, the LP and the time-expanded engine handle cycles, while the
 // Pre/PreSim pipelines require DAGs.
 func (n *Network) FlowSubgraphBetween(source, sink VertexID) (*Graph, bool) {
+	g, ok, _ := n.FlowSubgraphBetweenFootprint(source, sink)
+	return g, ok
+}
+
+// FlowSubgraphBetweenFootprint is FlowSubgraphBetween, additionally
+// reporting the query's read footprint: the ascending union of the forward
+// reachability set of the source and the backward reachability set of the
+// sink. Like the seed variant's footprint, it certifies cached answers —
+// positive or negative — across appends: a batch that grows either
+// reachability set must do so through a new edge departing from (forward)
+// or arriving at (backward) a vertex already in that set, and a batch that
+// changes the admitted edge set without growing reachability only touches
+// edges whose endpoints sit in both sets. An append touching no footprint
+// vertex therefore leaves the (graph, ok) answer byte-identical.
+func (n *Network) FlowSubgraphBetweenFootprint(source, sink VertexID) (*Graph, bool, []VertexID) {
 	if !n.finalized {
 		panic("tin: FlowSubgraphBetween before Finalize")
 	}
@@ -209,6 +253,14 @@ func (n *Network) FlowSubgraphBetween(source, sink VertexID) (*Graph, bool) {
 	// be falsely admitted.
 	fwd := n.reach(source, false, source, sink)
 	bwd := n.reach(sink, true, source, sink)
+	union := make(map[VertexID]bool, len(fwd)+len(bwd))
+	for v := range fwd {
+		union[v] = true
+	}
+	for v := range bwd {
+		union[v] = true
+	}
+	foot := sortedVertexSet(union)
 	var ids []EdgeID
 	for e := range n.edges {
 		ed := &n.edges[e]
@@ -220,13 +272,13 @@ func (n *Network) FlowSubgraphBetween(source, sink VertexID) (*Graph, bool) {
 		}
 	}
 	if len(ids) == 0 {
-		return nil, false
+		return nil, false, foot
 	}
 	g := n.BuildFlowGraph(ids, source, sink)
 	if g.InDegree(g.Source) != 0 || g.OutDegree(g.Sink) != 0 || g.OutDegree(g.Source) == 0 {
-		return nil, false
+		return nil, false, foot
 	}
-	return g, true
+	return g, true, foot
 }
 
 // reach returns the set of vertices reachable from v (backward: reaching
