@@ -162,12 +162,32 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("flownetd: HTTP %d: %s", e.Status, e.Message)
 }
 
+// Attempt describes one HTTP exchange as seen by the client, reported to
+// the WithObserver hook once per attempt — retries included, so a request
+// that rides out two sheds reports three attempts. Status is the HTTP
+// status when a response arrived, 0 when the exchange died in transport.
+// Err is nil on success and otherwise carries the failure: the *HTTPError
+// for non-200 statuses, or the transport/decode error.
+type Attempt struct {
+	Method string
+	Path   string // URL path only, no query — safe to use as a label
+	Status int    // HTTP status, 0 when the exchange died in transport
+	Err    error  // nil exactly when Status is 200
+	// CacheStatus is the X-Flownet-Cache response header ("hit", "miss",
+	// "bypass"; empty on routes without the cache or on transport errors).
+	CacheStatus string
+	// Duration is the attempt's wall-clock time: request sent to response
+	// body fully read.
+	Duration time.Duration
+}
+
 // Client is a minimal client for a flownetd server. The zero value is not
 // usable; construct with NewClient. Methods are safe for concurrent use.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry RetryPolicy
+	base    string
+	hc      *http.Client
+	retry   RetryPolicy
+	observe func(Attempt)
 }
 
 // NewClient returns a client for the flownetd instance at baseURL (e.g.
@@ -192,6 +212,16 @@ func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 // RetryPolicy{MaxAttempts: 1} disables retries entirely.
 func (c *Client) WithRetryPolicy(p RetryPolicy) *Client {
 	c.retry = p
+	return c
+}
+
+// WithObserver installs fn as the per-attempt telemetry hook and returns c
+// for chaining. fn runs synchronously on the calling goroutine after every
+// HTTP attempt (including each retry), so a load generator measuring
+// client-side latency sees every exchange, not just the final outcome. fn
+// must be fast and safe for concurrent use when the client is shared.
+func (c *Client) WithObserver(fn func(Attempt)) *Client {
+	c.observe = fn
 	return c
 }
 
@@ -420,33 +450,54 @@ func parseRetryAfter(h string) time.Duration {
 	return 0
 }
 
-// doOnce performs a single exchange and decodes the answer into out.
+// doOnce performs a single exchange, decodes the answer into out, and
+// reports the attempt to the observer (when installed).
 func (c *Client) doOnce(req *http.Request, out any) error {
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
-	if err != nil {
-		return err
-	}
-	if len(body) > maxResponseBytes {
-		return fmt.Errorf("flownetd: response body exceeds %d bytes", maxResponseBytes)
-	}
-	if resp.StatusCode != http.StatusOK {
-		he := &HTTPError{
-			Status:     resp.StatusCode,
-			Message:    string(bytes.TrimSpace(body)),
-			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+	var (
+		status int
+		cache  string
+		start  = time.Now()
+	)
+	err := func() error {
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
 		}
-		var eb struct {
-			Error string `json:"error"`
+		defer resp.Body.Close()
+		status = resp.StatusCode
+		cache = resp.Header.Get("X-Flownet-Cache")
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+		if err != nil {
+			return err
 		}
-		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
-			he.Message, he.structured = eb.Error, true
+		if len(body) > maxResponseBytes {
+			return fmt.Errorf("flownetd: response body exceeds %d bytes", maxResponseBytes)
 		}
-		return he
+		if resp.StatusCode != http.StatusOK {
+			he := &HTTPError{
+				Status:     resp.StatusCode,
+				Message:    string(bytes.TrimSpace(body)),
+				RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			}
+			var eb struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+				he.Message, he.structured = eb.Error, true
+			}
+			return he
+		}
+		return json.Unmarshal(body, out)
+	}()
+	if c.observe != nil {
+		c.observe(Attempt{
+			Method:      req.Method,
+			Path:        req.URL.Path,
+			Status:      status,
+			Err:         err,
+			CacheStatus: cache,
+			Duration:    time.Since(start),
+		})
 	}
-	return json.Unmarshal(body, out)
+	return err
 }

@@ -189,6 +189,70 @@ func TestClientHonorsContextDuringBackoff(t *testing.T) {
 	}
 }
 
+// TestClientObserverSeesEveryAttempt pins the WithObserver contract: the
+// hook fires once per HTTP attempt — each retried shed and the final
+// success — with the status, path and cache header of that exchange, which
+// is what lets a load generator separate "three attempts, one request"
+// from three requests.
+func TestClientObserverSeesEveryAttempt(t *testing.T) {
+	h := &flakyHandler{fail: 2, failStatus: http.StatusServiceUnavailable, retryAfter: "0",
+		ok: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("X-Flownet-Cache", "hit")
+			okStats(w, r)
+		}}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var attempts []flownet.Attempt
+	c := flownet.NewClient(ts.URL).WithHTTPClient(ts.Client()).WithRetryPolicy(fastRetry).
+		WithObserver(func(a flownet.Attempt) { attempts = append(attempts, a) })
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("want recovery after two sheds, got %v", err)
+	}
+
+	if len(attempts) != 3 {
+		t.Fatalf("want 3 observed attempts (2 sheds + success), got %d: %+v", len(attempts), attempts)
+	}
+	for i, a := range attempts[:2] {
+		if a.Status != http.StatusServiceUnavailable {
+			t.Fatalf("attempt %d: want 503, got %d", i+1, a.Status)
+		}
+		var he *flownet.HTTPError
+		if !errors.As(a.Err, &he) || he.Status != http.StatusServiceUnavailable {
+			t.Fatalf("attempt %d: want the HTTPError attached, got %v", i+1, a.Err)
+		}
+	}
+	last := attempts[2]
+	if last.Status != http.StatusOK || last.Err != nil {
+		t.Fatalf("final attempt: want clean 200, got %+v", last)
+	}
+	if last.CacheStatus != "hit" {
+		t.Fatalf("final attempt: want the cache header surfaced, got %q", last.CacheStatus)
+	}
+	for i, a := range attempts {
+		if a.Method != http.MethodGet || a.Path != "/stats" {
+			t.Fatalf("attempt %d: want GET /stats, got %s %s", i+1, a.Method, a.Path)
+		}
+		if a.Duration <= 0 {
+			t.Fatalf("attempt %d: want a positive duration, got %v", i+1, a.Duration)
+		}
+	}
+
+	// A transport failure reports status 0 with the error attached.
+	dead := httptest.NewServer(http.HandlerFunc(okStats))
+	deadURL := dead.URL
+	dead.Close()
+	attempts = nil
+	c = flownet.NewClient(deadURL).WithRetryPolicy(flownet.RetryPolicy{MaxAttempts: 1}).
+		WithObserver(func(a flownet.Attempt) { attempts = append(attempts, a) })
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("want transport error from closed server")
+	}
+	if len(attempts) != 1 || attempts[0].Status != 0 || attempts[0].Err == nil {
+		t.Fatalf("transport failure must observe status 0 with the error: %+v", attempts)
+	}
+}
+
 func TestClientErrorStringFormats(t *testing.T) {
 	structured := &flownet.HTTPError{Status: 404, Message: "unknown network \"x\""}
 	if !strings.Contains(structured.Error(), "HTTP 404") {

@@ -7,38 +7,78 @@ import (
 	"runtime/debug"
 	"sync/atomic"
 	"time"
+
+	"flownet/internal/hist"
 )
 
-// endpointMetrics hold the per-endpoint counters surfaced at /stats. All
-// fields are atomics; the struct is shared by every request to its route.
+// endpointMetrics hold the per-endpoint counters surfaced at /stats and
+// /metrics. All fields are atomics (the histogram internally so); the
+// struct is shared by every request to its route.
 type endpointMetrics struct {
 	requests  atomic.Uint64
 	errors    atomic.Uint64
 	cacheHits atomic.Uint64
 	shed      atomic.Uint64
-	latencyNs atomic.Int64
+	// latency holds the fixed-bucket handler wall-clock histogram and,
+	// inside it, the exact nanosecond sum — the source of truth for every
+	// latency figure /stats and /metrics export.
+	latency *hist.Histogram
 }
 
+func newEndpointMetrics() *endpointMetrics {
+	return &endpointMetrics{latency: hist.NewDefault()}
+}
+
+// record counts one finished request: the route's request counter, the
+// error counter (4xx/5xx — except shed 503s: deliberate load-shedding is
+// its own counter, not an error an alert should page on), and the latency
+// histogram. Counter order matters: the request lands before its latency,
+// pairing with snapshot's read order below.
+func (m *endpointMetrics) record(status int, shed bool, d time.Duration) {
+	m.requests.Add(1)
+	if status >= 400 && !shed {
+		m.errors.Add(1)
+	}
+	m.latency.Observe(d)
+}
+
+// snapshot reads the counters into the /stats wire shape. The latency
+// histogram is read *first*, the request counter after: record() counts a
+// request before observing its latency, so every observation in the
+// histogram snapshot already has its request in Requests — the derived
+// average can only under-report mid-request, never inflate. (Reading
+// requests first allowed the opposite interleaving: a latency observed
+// after the request load but before the histogram read would inflate the
+// average above truth.)
 func (m *endpointMetrics) snapshot() EndpointStats {
+	ls := m.latency.Snapshot()
 	s := EndpointStats{
-		Requests:  m.requests.Load(),
-		Errors:    m.errors.Load(),
-		CacheHits: m.cacheHits.Load(),
-		Shed:      m.shed.Load(),
+		Requests:     m.requests.Load(),
+		Errors:       m.errors.Load(),
+		CacheHits:    m.cacheHits.Load(),
+		Shed:         m.shed.Load(),
+		LatencySumNs: ls.SumNs,
+		LatencyCount: ls.Count,
+		P50LatencyMs: ls.Quantile(0.50) * 1e3,
+		P95LatencyMs: ls.Quantile(0.95) * 1e3,
+		P99LatencyMs: ls.Quantile(0.99) * 1e3,
 	}
 	if s.Requests > 0 {
-		s.AvgLatencyMs = float64(m.latencyNs.Load()) / float64(s.Requests) / 1e6
+		s.AvgLatencyMs = float64(ls.SumNs) / float64(s.Requests) / 1e6
 	}
 	return s
 }
 
 // statusRecorder captures the status code a handler wrote so the metrics
-// wrapper can count errors, and whether anything was written at all so the
-// panic recovery knows if a 500 can still be sent.
+// wrapper can count errors, whether anything was written at all so the
+// panic recovery knows if a 500 can still be sent, and whether the 503 was
+// a deliberate shed (marked by the admission guard) so load-shedding never
+// inflates the error rate.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	wrote  bool
+	shed   bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -75,11 +115,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 				// there is nothing valid left to write. The deferred counters
 				// below still run.
 			}
-			m.requests.Add(1)
-			if rec.status >= 400 {
-				m.errors.Add(1)
-			}
-			m.latencyNs.Add(time.Since(t0).Nanoseconds())
+			m.record(rec.status, rec.shed, time.Since(t0))
 		}()
 		h(rec, r)
 	})
@@ -114,6 +150,13 @@ func (s *Server) guard(route string, h http.HandlerFunc) http.HandlerFunc {
 				defer func() { <-s.inflight }()
 			default:
 				m.shed.Add(1)
+				// Mark the recorder (guard always runs inside instrument) so
+				// the deliberate 503 lands in Shed, not Errors: the request
+				// was rejected by design, and counting it as an error would
+				// page an alerting rule on the server doing its job.
+				if rec, ok := w.(*statusRecorder); ok {
+					rec.shed = true
+				}
 				w.Header().Set("Retry-After", retryAfterSeconds)
 				writeError(w, http.StatusServiceUnavailable,
 					"server at capacity (%d queries in flight); retry shortly", s.cfg.MaxInFlight)

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSnapshotAverageNeverInflates hammers one endpointMetrics with
+// concurrent record() calls of a fixed 1ms latency while snapshotting.
+// Every recorded latency is exactly 1ms, so the true average of any
+// completed set is exactly 1ms — a snapshot reporting more than that has
+// counted a latency whose request it missed, the inconsistent
+// interleaving the old requests-first read order allowed. The fixed order
+// (histogram first, request counter second) makes the average a
+// consistent under-estimate: AvgLatencyMs <= 1.0 must hold for every
+// snapshot. Run under -race this doubles as the data-race check on the
+// histogram path.
+func TestSnapshotAverageNeverInflates(t *testing.T) {
+	m := newEndpointMetrics()
+	const workers, perWorker = 8, 5000
+	var recorders, snapshotter sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		recorders.Add(1)
+		go func() {
+			defer recorders.Done()
+			for i := 0; i < perWorker; i++ {
+				m.record(http.StatusOK, false, time.Millisecond)
+			}
+		}()
+	}
+	snapshotter.Add(1)
+	go func() {
+		defer snapshotter.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := m.snapshot()
+			// n observations of exactly 1e6 ns over >= n requests: the
+			// float division n*1e6/R/1e6 = n/R is exact and <= 1 iff the
+			// numerator never counts a latency ahead of its request.
+			if s.AvgLatencyMs > 1.0 {
+				t.Errorf("snapshot average inflated above truth: %v ms over %d requests (sum %d ns)",
+					s.AvgLatencyMs, s.Requests, s.LatencySumNs)
+				return
+			}
+			if s.LatencyCount > s.Requests {
+				t.Errorf("snapshot counted %d latencies for %d requests", s.LatencyCount, s.Requests)
+				return
+			}
+		}
+	}()
+	recorders.Wait()
+	close(stop)
+	snapshotter.Wait()
+
+	s := m.snapshot()
+	const total = workers * perWorker
+	if s.Requests != total || s.LatencyCount != total {
+		t.Fatalf("final counts: requests %d, latencies %d, want %d", s.Requests, s.LatencyCount, total)
+	}
+	if s.LatencySumNs != int64(total)*int64(time.Millisecond) {
+		t.Fatalf("final sum %d ns, want %d", s.LatencySumNs, int64(total)*int64(time.Millisecond))
+	}
+	if s.AvgLatencyMs != 1.0 {
+		t.Fatalf("quiesced average = %v ms, want exactly 1", s.AvgLatencyMs)
+	}
+}
+
+// TestShedBurstLeavesErrorsUntouched pins the shed-vs-error split: a
+// burst of admission-control 503s moves Shed (and Requests) but never
+// Errors — deliberate load-shedding is the server doing its job, not a
+// failure an error-rate alert should page on. A genuine client error on
+// the same route afterwards still lands in Errors.
+func TestShedBurstLeavesErrorsUntouched(t *testing.T) {
+	s, ts, n := newTestServer(t, Config{CacheSize: 8, MaxInFlight: 1})
+	src, snk := firstReachablePair(t, n)
+	flowPath := fmt.Sprintf("/flow?net=test&source=%d&sink=%d", src, snk)
+
+	// Hold the only slot; every query below is shed.
+	s.inflight <- struct{}{}
+	const burst = 25
+	for i := 0; i < burst; i++ {
+		if code, _, _ := get(t, ts, flowPath, nil); code != http.StatusServiceUnavailable {
+			t.Fatalf("saturated /flow: want 503, got %d", code)
+		}
+	}
+	<-s.inflight
+
+	// The deferred counters can lag the responses; poll until the burst is
+	// fully recorded.
+	deadline := time.Now().Add(5 * time.Second)
+	var st EndpointStats
+	for {
+		st = s.metrics["/flow"].snapshot()
+		if st.Requests >= burst || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Shed != burst {
+		t.Fatalf("want %d shed, got %d", burst, st.Shed)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("a shed burst must leave Errors untouched, got %d", st.Errors)
+	}
+	if st.Requests != burst {
+		t.Fatalf("shed requests still count as requests: want %d, got %d", burst, st.Requests)
+	}
+
+	// A real client error is still an error.
+	if code, _, _ := get(t, ts, "/flow?net=test&source=bogus&sink=1", nil); code != http.StatusBadRequest {
+		t.Fatalf("want 400 for a bad parameter, got %d", code)
+	}
+	for {
+		st = s.metrics["/flow"].snapshot()
+		if st.Errors >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Errors != 1 {
+		t.Fatalf("a genuine 400 must still count as an error, got %d", st.Errors)
+	}
+
+	// And the split is what /metrics exports: the shed total moved, the
+	// error total counts only the real failure.
+	_, _, body := get(t, ts, "/metrics", nil)
+	for _, want := range []string{
+		fmt.Sprintf(`flownet_shed_total{route="/flow"} %d`, burst),
+		`flownet_errors_total{route="/flow"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -7,13 +7,19 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"flownet/internal/hist"
 )
 
 // GET /metrics: the counters /stats already keeps, in the Prometheus text
 // exposition format (version 0.0.4), hand-rolled — the format is a few
-// lines of text and does not justify a client-library dependency. Gauges
-// and counters only; latency is exposed as the standard _sum/_count pair
-// so dashboards can derive a running average without histogram buckets.
+// lines of text and does not justify a client-library dependency. Gauges,
+// counters, and one histogram family: per-route request latency is a full
+// fixed-bucket histogram (flownet_request_latency_seconds _bucket/_sum/
+// _count), with the _sum derived from the exact nanosecond counter — not
+// reconstructed from a rounded average — so it matches /stats'
+// latency_sum_ns to the last bit and dashboards get real p95/p99, not
+// just a mean.
 
 // promWriter accumulates one exposition body. Metric families must be
 // written contiguously (# HELP / # TYPE once, then every sample), which the
@@ -37,6 +43,43 @@ func (p *promWriter) family(name, help, typ string, samples func(add func(labels
 	})
 }
 
+// histogramFamily writes one histogram family: # HELP / # TYPE once, then
+// per row the cumulative le-labelled buckets (ending in +Inf), the _sum
+// (exact nanoseconds scaled to seconds) and the _count (the +Inf bucket's
+// value by construction — hist.Snapshot.Count is the bucket sum).
+func (p *promWriter) histogramFamily(name, help string, rows func(add func(labels string, s hist.Snapshot))) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	sample := func(suffix, labels string, v string) {
+		p.b.WriteString(name)
+		p.b.WriteString(suffix)
+		if labels != "" {
+			p.b.WriteByte('{')
+			p.b.WriteString(labels)
+			p.b.WriteByte('}')
+		}
+		p.b.WriteByte(' ')
+		p.b.WriteString(v)
+		p.b.WriteByte('\n')
+	}
+	rows(func(labels string, s hist.Snapshot) {
+		cum := s.Cumulative()
+		for i, bound := range s.Bounds {
+			le := promLabel("le", strconv.FormatFloat(bound, 'g', -1, 64))
+			if labels != "" {
+				le = labels + "," + le
+			}
+			sample("_bucket", le, strconv.FormatUint(cum[i], 10))
+		}
+		inf := promLabel("le", "+Inf")
+		if labels != "" {
+			inf = labels + "," + inf
+		}
+		sample("_bucket", inf, strconv.FormatUint(s.Count, 10))
+		sample("_sum", labels, strconv.FormatFloat(float64(s.SumNs)/1e9, 'g', -1, 64))
+		sample("_count", labels, strconv.FormatUint(s.Count, 10))
+	})
+}
+
 // promLabel renders one key="value" pair, escaping per the exposition
 // format (backslash, double quote, newline).
 func promLabel(key, value string) string {
@@ -51,12 +94,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var p promWriter
 
 	type routeStat struct {
-		route string
-		st    EndpointStats
+		route   string
+		st      EndpointStats
+		latency hist.Snapshot
 	}
 	stats := make([]routeStat, 0, len(routes))
 	for _, route := range routes {
-		stats = append(stats, routeStat{route, s.metrics[route].snapshot()})
+		m := s.metrics[route]
+		stats = append(stats, routeStat{route, m.snapshot(), m.latency.Snapshot()})
 	}
 
 	p.family("flownet_requests_total", "HTTP requests served, by route.", "counter", func(add func(string, float64)) {
@@ -79,9 +124,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			add(promLabel("route", rs.route), float64(rs.st.CacheHits))
 		}
 	})
-	p.family("flownet_request_latency_seconds_sum", "Total handler wall-clock time, by route (divide by flownet_requests_total for the mean).", "counter", func(add func(string, float64)) {
+	p.histogramFamily("flownet_request_latency_seconds", "Handler wall-clock time, by route (fixed buckets; the _sum is the raw nanosecond counter scaled to seconds, exactly /stats' latency_sum_ns).", func(add func(string, hist.Snapshot)) {
 		for _, rs := range stats {
-			add(promLabel("route", rs.route), rs.st.AvgLatencyMs*float64(rs.st.Requests)/1e3)
+			add(promLabel("route", rs.route), rs.latency)
 		}
 	})
 	p.family("flownet_panics_total", "Handler panics converted to 500s by the recovery middleware.", "counter", func(add func(string, float64)) {

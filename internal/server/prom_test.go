@@ -1,0 +1,274 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSample is one parsed exposition line: name{labels} value.
+type promSample struct {
+	name   string
+	labels string // raw text between the braces, "" when absent
+	value  float64
+	raw    string
+}
+
+// parseExposition is a strict reader for the Prometheus text format 0.0.4
+// as this server emits it. It fails the test on any line that is neither a
+// well-formed comment nor a parseable sample, and returns the samples in
+// body order plus the HELP/TYPE declarations keyed by family name.
+func parseExposition(t *testing.T, body string) (samples []promSample, help, typ map[string]string) {
+	t.Helper()
+	help = make(map[string]string)
+	typ = make(map[string]string)
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			name := fields[2]
+			switch fields[1] {
+			case "HELP":
+				if _, dup := help[name]; dup {
+					t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+				}
+				help[name] = fields[3]
+			case "TYPE":
+				if _, dup := typ[name]; dup {
+					t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+				}
+				if _, ok := help[name]; !ok {
+					t.Fatalf("line %d: TYPE for %s before its HELP", ln+1, name)
+				}
+				typ[name] = fields[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		series, valueText := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			t.Fatalf("line %d: value %q does not parse: %v", ln+1, valueText, err)
+		}
+		name, labels := series, ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated label set in %q", ln+1, line)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		samples = append(samples, promSample{name, labels, v, line})
+	}
+	return samples, help, typ
+}
+
+// familyOf maps a sample name to the family it belongs to: histogram
+// samples carry _bucket/_sum/_count suffixes on the family name.
+func familyOf(name string, typ map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && typ[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// stripLe removes the le="..." pair from a bucket label set, returning the
+// remaining labels (the row identity) and the le value.
+func stripLe(t *testing.T, labels string) (rest, le string) {
+	t.Helper()
+	var kept []string
+	for _, pair := range strings.Split(labels, ",") {
+		if v, ok := strings.CutPrefix(pair, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if le == "" {
+		t.Fatalf("bucket sample without le label: %q", labels)
+	}
+	return strings.Join(kept, ","), le
+}
+
+// TestMetricsExpositionFormat is the strict format checker: every sample
+// on /metrics must belong to a family that declared # HELP and # TYPE
+// first, every value must parse, histogram bucket series must be
+// cumulative and end in le="+Inf", and each histogram _count must equal
+// its +Inf bucket. This is what keeps the hand-rolled writer honest
+// against a real Prometheus scraper without importing one.
+func TestMetricsExpositionFormat(t *testing.T) {
+	_, ts, n := newTestServer(t, Config{CacheSize: 8})
+	src, snk := firstReachablePair(t, n)
+	// Put traffic on several routes so the histogram rows are non-trivial.
+	get(t, ts, fmt.Sprintf("/flow?net=test&source=%d&sink=%d", src, snk), nil)
+	get(t, ts, fmt.Sprintf("/flow?net=test&source=%d&sink=%d", src, snk), nil)
+	get(t, ts, "/networks", nil)
+	get(t, ts, "/stats", nil)
+
+	code, _, raw := get(t, ts, "/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", code)
+	}
+	samples, help, typ := parseExposition(t, string(raw))
+	if len(samples) == 0 {
+		t.Fatal("no samples on /metrics")
+	}
+
+	seenFamily := make(map[string]bool)
+	lastFamily := ""
+	// Cumulative-bucket bookkeeping per (family, row-labels).
+	type bucketRow struct {
+		prev    float64
+		sawInf  bool
+		infVal  float64
+		lastLe  float64
+		anyNext bool
+	}
+	buckets := make(map[string]*bucketRow)
+	counts := make(map[string]float64)
+
+	for _, s := range samples {
+		fam := familyOf(s.name, typ)
+		if help[fam] == "" {
+			t.Errorf("sample %q: family %s has no # HELP", s.raw, fam)
+		}
+		switch typ[fam] {
+		case "counter", "gauge", "histogram":
+		default:
+			t.Errorf("sample %q: family %s has bad # TYPE %q", s.raw, fam, typ[fam])
+		}
+		// Families must be contiguous: once we move past one, it cannot
+		// reappear.
+		if fam != lastFamily {
+			if seenFamily[fam] {
+				t.Errorf("family %s is not contiguous (reappears at %q)", fam, s.raw)
+			}
+			seenFamily[fam] = true
+			lastFamily = fam
+		}
+		if typ[fam] != "histogram" {
+			continue
+		}
+		switch {
+		case s.name == fam+"_bucket":
+			rest, le := stripLe(t, s.labels)
+			key := fam + "|" + rest
+			row := buckets[key]
+			if row == nil {
+				row = &bucketRow{lastLe: -1}
+				buckets[key] = row
+			}
+			if row.sawInf {
+				t.Errorf("bucket after le=+Inf in row %s: %q", key, s.raw)
+			}
+			if le == "+Inf" {
+				row.sawInf, row.infVal = true, s.value
+			} else {
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("bucket bound %q does not parse: %v", le, err)
+				}
+				if bound <= row.lastLe {
+					t.Errorf("row %s: bounds not increasing at %q", key, s.raw)
+				}
+				row.lastLe = bound
+			}
+			if s.value < row.prev {
+				t.Errorf("row %s: buckets not cumulative at %q (prev %v)", key, s.raw, row.prev)
+			}
+			row.prev = s.value
+		case s.name == fam+"_count":
+			counts[fam+"|"+s.labels] = s.value
+		}
+	}
+
+	if len(buckets) == 0 {
+		t.Fatal("no histogram rows found on /metrics")
+	}
+	for key, row := range buckets {
+		if !row.sawInf {
+			t.Errorf("row %s: bucket series does not end in le=+Inf", key)
+			continue
+		}
+		cnt, ok := counts[key]
+		if !ok {
+			t.Errorf("row %s: no _count sample", key)
+			continue
+		}
+		if cnt != row.infVal {
+			t.Errorf("row %s: _count %v != +Inf bucket %v", key, cnt, row.infVal)
+		}
+	}
+}
+
+// TestLatencySumExportedExactly pins the prom.go fix: the histogram _sum
+// must be the raw nanosecond counter scaled to seconds — not the old
+// AvgLatencyMs*Requests/1e3 round-trip, which quantized the sum through a
+// millisecond-rounded average and drifted from /stats. The test compares
+// the exported string against the exact same computation on the live
+// counter, and cross-checks /stats' latency_sum_ns against that counter.
+func TestLatencySumExportedExactly(t *testing.T) {
+	s, ts, n := newTestServer(t, Config{CacheSize: 8})
+	src, snk := firstReachablePair(t, n)
+	const hits = 7
+	for i := 0; i < hits; i++ {
+		get(t, ts, fmt.Sprintf("/flow?net=test&source=%d&sink=%d", src, snk), nil)
+	}
+
+	// Quiesce: the deferred record() can lag the last response.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics["/flow"].latency.Snapshot().Count < hits {
+		if time.Now().After(deadline) {
+			t.Fatal("latency count never reached the request count")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	sumNs := s.metrics["/flow"].latency.Snapshot().SumNs
+	if sumNs <= 0 {
+		t.Fatalf("no latency accumulated (%d ns)", sumNs)
+	}
+
+	_, _, raw := get(t, ts, "/metrics", nil)
+	want := `flownet_request_latency_seconds_sum{route="/flow"} ` +
+		strconv.FormatFloat(float64(sumNs)/1e9, 'g', -1, 64)
+	if !strings.Contains(string(raw), want) {
+		t.Fatalf("/metrics does not export the exact nanosecond sum: want line %q in:\n%s", want, raw)
+	}
+	wantCount := fmt.Sprintf(`flownet_request_latency_seconds_count{route="/flow"} %d`, hits)
+	if !strings.Contains(string(raw), wantCount) {
+		t.Fatalf("/metrics missing %q", wantCount)
+	}
+
+	// The same raw counter is what /stats reports, so the two surfaces can
+	// be reconciled bit-for-bit.
+	var st StatsResult
+	if code, _, _ := get(t, ts, "/stats", &st); code != http.StatusOK {
+		t.Fatal("stats unavailable")
+	}
+	ep := st.Endpoints["/flow"]
+	if ep.LatencySumNs != sumNs {
+		t.Fatalf("/stats latency_sum_ns %d != histogram counter %d", ep.LatencySumNs, sumNs)
+	}
+	if ep.LatencyCount != hits {
+		t.Fatalf("/stats latency_count %d, want %d", ep.LatencyCount, hits)
+	}
+	for _, q := range []float64{ep.P50LatencyMs, ep.P95LatencyMs, ep.P99LatencyMs} {
+		if q <= 0 {
+			t.Fatalf("/stats quantiles must be populated after traffic: %+v", ep)
+		}
+	}
+}

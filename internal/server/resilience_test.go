@@ -189,18 +189,23 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Fatal(err)
 		}
 		body = string(raw)
-		if strings.Contains(body, `flownet_requests_total{route="/flow"} 2`) {
+		// The latency observation is the last counter record() touches, so
+		// once it reads 2 every other /flow counter has landed too.
+		if strings.Contains(body, `flownet_request_latency_seconds_count{route="/flow"} 2`) {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("request counter never reached 2; body:\n%s", body)
+			t.Fatalf("latency count never reached 2; body:\n%s", body)
 		}
 		time.Sleep(time.Millisecond)
 	}
 
 	for _, want := range []string{
 		"# TYPE flownet_requests_total counter",
-		"# TYPE flownet_request_latency_seconds_sum counter",
+		`flownet_requests_total{route="/flow"} 2`,
+		"# TYPE flownet_request_latency_seconds histogram",
+		`flownet_request_latency_seconds_bucket{route="/flow",le="+Inf"} 2`,
+		`flownet_request_latency_seconds_count{route="/flow"} 2`,
 		`flownet_cache_lookups_total{outcome="hit"} 1`,
 		`flownet_cache_lookups_total{outcome="miss"} 1`,
 		"flownet_panics_total 0",

@@ -193,7 +193,7 @@ func New(cfg Config) *Server {
 	}
 	st.SubscribeDelta(s.onStoreDelta)
 	for _, r := range routes {
-		s.metrics[r] = &endpointMetrics{}
+		s.metrics[r] = newEndpointMetrics()
 	}
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
@@ -848,11 +848,18 @@ func (s *Server) networkInfos() map[string]NetworkInfo {
 		tc := s.tablesFor(sh)
 		sh.View(func(n *tin.Network, gen uint64) {
 			st := n.Stats()
+			// An empty network reports MaxTime -Inf, which JSON cannot
+			// carry; clamp to 0 (any timestamp is in order then anyway).
+			mt := n.MaxTime()
+			if math.IsInf(mt, -1) {
+				mt = 0
+			}
 			infos[sh.Name()] = NetworkInfo{
 				Vertices:            st.Vertices,
 				Edges:               st.Edges,
 				Interactions:        st.Interactions,
 				AvgQty:              st.AvgQty,
+				MaxTime:             mt,
 				TablesReady:         tc.ready(gen),
 				Generation:          gen,
 				PendingInteractions: pending,

@@ -146,6 +146,10 @@ type NetworkInfo struct {
 	Edges        int     `json:"edges"`
 	Interactions int     `json:"interactions"`
 	AvgQty       float64 `json:"avg_qty"`
+	// MaxTime is the latest interaction timestamp (0 when the network is
+	// empty). Ingest clients — cmd/flowload's writers among them — start
+	// their timestamps here to append in order without a probe write.
+	MaxTime float64 `json:"max_time,omitempty"`
 	// TablesReady reports whether the PB path tables have been built for
 	// the network's current generation (they are precomputed lazily on the
 	// first /patterns?mode=pb query and invalidated by ingestion).
@@ -160,14 +164,33 @@ type NetworkInfo struct {
 
 // EndpointStats are the per-endpoint counters of GET /stats.
 type EndpointStats struct {
-	Requests  uint64 `json:"requests"`
+	Requests uint64 `json:"requests"`
+	// Errors counts responses with status >= 400 — except shed 503s, which
+	// are deliberate load-shedding, not failures: they appear in Shed (and
+	// in Requests) only, so an error-rate alert never pages on the server
+	// protecting itself.
 	Errors    uint64 `json:"errors"`
 	CacheHits uint64 `json:"cache_hits"`
 	// Shed counts requests rejected by admission control (503 + Retry-After
 	// when more than -max-inflight queries were already executing).
 	Shed uint64 `json:"shed,omitempty"`
-	// AvgLatencyMs is the mean wall-clock handler latency in milliseconds.
+	// AvgLatencyMs is the mean wall-clock handler latency in milliseconds
+	// (LatencySumNs over Requests; under concurrent traffic it may lag a
+	// hair low, never high — see endpointMetrics.snapshot).
 	AvgLatencyMs float64 `json:"avg_latency_ms"`
+	// P50/P95/P99LatencyMs are estimated from the fixed-bucket latency
+	// histogram (internal/hist.DefaultBounds — the same buckets /metrics
+	// exposes as flownet_request_latency_seconds, so a dashboard quantile
+	// and this figure agree).
+	P50LatencyMs float64 `json:"p50_latency_ms"`
+	P95LatencyMs float64 `json:"p95_latency_ms"`
+	P99LatencyMs float64 `json:"p99_latency_ms"`
+	// LatencySumNs is the exact accumulated handler wall-clock time in
+	// nanoseconds and LatencyCount the number of observations — the raw
+	// counters behind the Prometheus _sum/_count pair, exported undigested
+	// so the two surfaces can be cross-checked exactly.
+	LatencySumNs int64  `json:"latency_sum_ns"`
+	LatencyCount uint64 `json:"latency_count"`
 }
 
 // StoreStats are the store-wide durability counters of GET /stats.
