@@ -142,6 +142,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		retries     = fs.Int("retries", 0, "max attempts per request including the first (0 = client default, 1 = no retries)")
 		allowIngest = fs.Bool("allow-ingest", false, "add ingest writers (the server must run with -allow-ingest)")
 		ingestWk    = fs.Int("ingest-workers", 1, "ingest writer goroutines when -allow-ingest is set")
+		windowFrac  = fs.Float64("window-frac", 0, "fraction of pair and seed queries that carry a random inclusive time window (0 = none, 1 = all)")
 		out         = fs.String("out", "BENCH_load.json", "benchjson-style JSON artifact path (empty = skip)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -152,6 +153,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *workers < 1 || *duration <= 0 || *batchSize < 1 || *retries < 0 || *ingestWk < 0 {
 		fmt.Fprintln(stderr, "flowload: -workers, -duration and -batch-size must be positive; -retries and -ingest-workers must be >= 0")
+		return cli.ErrUsage
+	}
+	if *windowFrac < 0 || *windowFrac > 1 {
+		fmt.Fprintln(stderr, "flowload: -window-frac must be in [0, 1]")
 		return cli.ErrUsage
 	}
 	if *mix != "zipf" && *mix != "uniform" {
@@ -214,13 +219,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	for i := 0; i < *workers; i++ {
 		wg.Add(1)
 		w := &worker{
-			client:    nil, // installed below; the observer closure needs w
-			net:       *netName,
-			rng:       rand.New(rand.NewSource(*seed + int64(i))),
-			weights:   mixWeights,
-			batchSize: *batchSize,
-			vertices:  info.Vertices,
-			metrics:   metrics,
+			client:     nil, // installed below; the observer closure needs w
+			net:        *netName,
+			rng:        rand.New(rand.NewSource(*seed + int64(i))),
+			weights:    mixWeights,
+			batchSize:  *batchSize,
+			vertices:   info.Vertices,
+			metrics:    metrics,
+			windowFrac: *windowFrac,
+			maxTime:    info.MaxTime,
 		}
 		if *mix == "zipf" {
 			w.zipf = rand.NewZipf(w.rng, *zipfS, 1, uint64(info.Vertices-1))
@@ -339,6 +346,11 @@ type worker struct {
 	metrics   map[string]*opMetrics
 	current   string // op kind of the in-flight request, read by the observer
 	patternAt int
+	// windowFrac is the probability that a pair or seed query carries a
+	// random time window drawn over [0, maxTime] — exercising the
+	// in-extraction window path and its distinct cache keys.
+	windowFrac float64
+	maxTime    float64
 }
 
 func (w *worker) loop(ctx context.Context) {
@@ -385,6 +397,17 @@ func (w *worker) vertex() int {
 	return w.rng.Intn(w.vertices)
 }
 
+// flowOpts returns nil (server defaults) or, with probability windowFrac,
+// options carrying a random inclusive time window inside [0, maxTime].
+func (w *worker) flowOpts() *flownet.FlowQueryOptions {
+	if w.windowFrac <= 0 || w.rng.Float64() >= w.windowFrac {
+		return nil
+	}
+	from := w.rng.Float64() * w.maxTime
+	to := from + w.rng.Float64()*(w.maxTime-from)
+	return &flownet.FlowQueryOptions{WindowFrom: &from, WindowTo: &to}
+}
+
 func (w *worker) do(ctx context.Context, kind string) error {
 	switch kind {
 	case opPair:
@@ -393,10 +416,10 @@ func (w *worker) do(ctx context.Context, kind string) error {
 		for snk == src {
 			snk = w.rng.Intn(w.vertices)
 		}
-		_, err := w.client.Flow(ctx, w.net, flownet.VertexID(src), flownet.VertexID(snk), nil)
+		_, err := w.client.Flow(ctx, w.net, flownet.VertexID(src), flownet.VertexID(snk), w.flowOpts())
 		return err
 	case opSeed:
-		_, err := w.client.SeedFlow(ctx, w.net, flownet.VertexID(w.vertex()), nil)
+		_, err := w.client.SeedFlow(ctx, w.net, flownet.VertexID(w.vertex()), w.flowOpts())
 		return err
 	case opBatch:
 		seeds := make([]int, w.batchSize)

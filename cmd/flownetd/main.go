@@ -39,7 +39,9 @@
 // WAL per batch, surviving power loss rather than just process death.
 // -mmap serves binary snapshots zero-copy: recovery maps the snapshot file
 // read-only instead of decoding it, and the mapping is released the first
-// time the network is mutated.
+// time the network is mutated. -madvise additionally marks the mapped
+// interaction arena MADV_RANDOM, so footprint-bound queries on networks
+// larger than RAM fault in only the pages they touch.
 //
 // Exit codes: 0 after a clean shutdown, 1 on a runtime failure, 2 on a
 // usage error.
@@ -97,6 +99,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		walSync     = fs.Bool("wal-sync", false, "fsync the WAL after every accepted batch instead of only at checkpoints (requires -data-dir)")
 		snapEvery   = fs.Int("snapshot-every", 0, "WAL records per network that trigger a background snapshot (0 = default 256, negative = never; requires -data-dir)")
 		useMmap     = fs.Bool("mmap", false, "serve binary snapshots zero-copy via mmap instead of decoding them (released when a network is first mutated)")
+		madvise     = fs.Bool("madvise", false, "advise the kernel (MADV_RANDOM) that mmap'd interaction arenas are accessed randomly, avoiding readahead on footprint-bound queries (requires -mmap)")
 		queryTO     = fs.Duration("query-timeout", 0, "per-request deadline for /flow, /flow/batch and /patterns; expired queries answer 504 (0 = no deadline)")
 		maxInflight = fs.Int("max-inflight", 0, "maximum concurrently executing queries; excess load answers 503 + Retry-After (0 = unbounded)")
 		tableUpd    = fs.Int("table-update-threshold", 0, "changed-edge count up to which stale PB pattern tables are patched forward incrementally instead of rebuilt (0 = default 256, negative = always rebuild)")
@@ -113,6 +116,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return cli.ErrUsage
 	}
+	if *madvise && !*useMmap {
+		fmt.Fprintln(stderr, "flownetd: -madvise needs -mmap")
+		fs.Usage()
+		return cli.ErrUsage
+	}
 	eng := flownet.EngineLP
 	switch *engine {
 	case "lp":
@@ -123,7 +131,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cli.ErrUsage
 	}
 
-	st, err := store.Open(store.Config{Dir: *dataDir, SyncEveryBatch: *walSync, SnapshotEvery: *snapEvery, Mmap: *useMmap})
+	st, err := store.Open(store.Config{Dir: *dataDir, SyncEveryBatch: *walSync, SnapshotEvery: *snapEvery, Mmap: *useMmap, Madvise: *madvise})
 	if err != nil {
 		return fmt.Errorf("opening data directory %s: %w", *dataDir, err)
 	}
@@ -169,7 +177,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		t0 := time.Now()
 		load := flownet.LoadNetwork
 		if *useMmap {
-			load = flownet.LoadNetworkMmap
+			opts := flownet.MmapOptions{AdviseRandom: *madvise}
+			load = func(path string) (*flownet.Network, error) {
+				return flownet.LoadNetworkMmapOptions(path, opts)
+			}
 		}
 		n, err := load(path)
 		if err != nil {

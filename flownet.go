@@ -287,6 +287,17 @@ func LoadNetwork(path string) (*Network, error) { return tin.LoadNetwork(path) }
 // mapping is released automatically when the network is first mutated.
 func LoadNetworkMmap(path string) (*Network, error) { return tin.OpenNetworkMmap(path) }
 
+// MmapOptions tunes the zero-copy mapping set up by LoadNetworkMmapOptions.
+type MmapOptions = tin.MmapOptions
+
+// LoadNetworkMmapOptions is LoadNetworkMmap with explicit mapping options —
+// notably AdviseRandom, which marks the interaction arena MADV_RANDOM so
+// cold footprint-bound queries on networks larger than RAM fault in only
+// the pages they touch instead of triggering sequential readahead.
+func LoadNetworkMmapOptions(path string, opts MmapOptions) (*Network, error) {
+	return tin.OpenNetworkMmapOptions(path, opts)
+}
+
 // SaveNetwork writes a network to a text (optionally .gz) interaction file.
 func SaveNetwork(path string, n *Network) error { return tin.SaveNetwork(path, n) }
 

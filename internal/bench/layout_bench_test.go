@@ -238,9 +238,41 @@ func TestQueryAllocationBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	const budget = 500
+	// Scratch pooling dropped steady-state extraction to a handful of
+	// result-graph blocks (measured: ~12 for the whole pipeline); the
+	// budget leaves slack for solver variance but forbids any return of
+	// per-path or per-interaction churn.
+	const budget = 40
 	if allocs > budget {
 		t.Errorf("query path allocates %.0f objects per run, budget %d", allocs, budget)
 	}
 	t.Logf("extract+preprocess+flow: %.0f allocs per query", allocs)
+}
+
+// TestWindowedQueryAllocationBudget is the same guard for the windowed
+// fast path: applying a time window during extraction must not reintroduce
+// allocation churn (the pre-optimization path cloned the whole subgraph in
+// RestrictWindow).
+func TestWindowedQueryAllocationBudget(t *testing.T) {
+	n := loadBenchNetwork(t)
+	seed := tin.VertexID(0)
+	opts := tin.DefaultExtractOptions()
+	opts.Window = &tin.TimeWindow{From: 0, To: n.MaxTime() / 2}
+	if _, ok := n.ExtractSubgraph(seed, opts); !ok {
+		t.Skip("seed extracts nothing in the window")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		g, ok := n.ExtractSubgraph(seed, opts)
+		if !ok {
+			t.Fatal("extraction failed")
+		}
+		if _, err := core.PreSim(g, core.EngineTEG); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 40
+	if allocs > budget {
+		t.Errorf("windowed query path allocates %.0f objects per run, budget %d", allocs, budget)
+	}
+	t.Logf("windowed extract+preprocess+flow: %.0f allocs per query", allocs)
 }

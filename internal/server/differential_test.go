@@ -98,9 +98,18 @@ func TestDifferentialIncrementalVsRebuild(t *testing.T) {
 		}
 		rts := httptest.NewServer(ref.Handler())
 
+		// Windowed variants ride along: the incremental server answers them
+		// through the in-extraction window path against the same network
+		// history, so any divergence between that path and the rebuilt
+		// reference — including the cache-key treatment of the bounds —
+		// shows up here too.
+		wFrom := tm * rng.Float64() * 0.8
+		wTo := wFrom + tm*rng.Float64()*0.5
 		queries := []string{
 			fmt.Sprintf("/flow?net=diff&source=%d&sink=%d", rng.Intn(numV), rng.Intn(numV-1)),
 			fmt.Sprintf("/flow?net=diff&seed=%d", rng.Intn(numV)),
+			fmt.Sprintf("/flow?net=diff&source=%d&sink=%d&from=%g&to=%g", rng.Intn(numV), rng.Intn(numV-1), wFrom, wTo),
+			fmt.Sprintf("/flow?net=diff&seed=%d&from=%g&to=%g", rng.Intn(numV), wFrom, wTo),
 		}
 		if step%5 == 4 {
 			queries = append(queries,
@@ -120,5 +129,77 @@ func TestDifferentialIncrementalVsRebuild(t *testing.T) {
 			}
 		}
 		rts.Close()
+	}
+}
+
+// TestWindowedServingMatchesRestrictOracle pins the serving fast path for
+// time windows: /flow answers are produced by applying the window during
+// extraction (never materializing out-of-window interactions), and must be
+// field-identical to the pre-optimization pipeline — extract the full
+// subgraph, Graph.RestrictWindow, solve — for every seed, every pair, and
+// a spread of windows (full, interior, point, inverted, disjoint).
+func TestWindowedServingMatchesRestrictOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	const numV = 9
+	var items []tin.BatchItem
+	for i := 0; i < 140; i++ {
+		from := tin.VertexID(rng.Intn(numV))
+		to := tin.VertexID(rng.Intn(numV))
+		if from == to {
+			continue
+		}
+		items = append(items, tin.BatchItem{From: from, To: to, Time: float64(rng.Intn(50)), Qty: float64(rng.Intn(5)) + 1})
+	}
+	n := buildNet(t, numV, items)
+	s := New(Config{CacheSize: 0})
+	if err := s.AddNetwork("w", n); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	opts, err := extractParams(0, 0) // the handler's defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := [][2]float64{{0, 50}, {10, 30}, {25, 25}, {40, 10}, {60, 90}}
+	for _, w := range windows {
+		for seed := 0; seed < numV; seed++ {
+			want := FlowResult{Network: "w", Query: "seed", Seed: seed}
+			if g, ok := n.ExtractSubgraph(tin.VertexID(seed), opts); ok {
+				if err := s.solveFlow(g.RestrictWindow(w[0], w[1]), &want); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var got FlowResult
+			q := fmt.Sprintf("/flow?net=w&seed=%d&from=%g&to=%g", seed, w[0], w[1])
+			if status, _, body := get(t, ts, q, &got); status != 200 {
+				t.Fatalf("%s: status %d (%s)", q, status, body)
+			}
+			if got != want {
+				t.Fatalf("%s:\n got %+v\nwant %+v", q, got, want)
+			}
+		}
+		for src := 0; src < numV; src++ {
+			for snk := 0; snk < numV; snk++ {
+				if src == snk {
+					continue
+				}
+				want := FlowResult{Network: "w", Query: "pair", Source: src, Sink: snk}
+				if g, ok := n.FlowSubgraphBetween(tin.VertexID(src), tin.VertexID(snk)); ok {
+					if err := s.solveFlow(g.RestrictWindow(w[0], w[1]), &want); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var got FlowResult
+				q := fmt.Sprintf("/flow?net=w&source=%d&sink=%d&from=%g&to=%g", src, snk, w[0], w[1])
+				if status, _, body := get(t, ts, q, &got); status != 200 {
+					t.Fatalf("%s: status %d (%s)", q, status, body)
+				}
+				if got != want {
+					t.Fatalf("%s:\n got %+v\nwant %+v", q, got, want)
+				}
+			}
+		}
 	}
 }

@@ -101,6 +101,12 @@ type Config struct {
 	// first) or when the store closes. Snapshot open failures still go
 	// through FS, so fault injection keeps gating the load path.
 	Mmap bool
+	// Madvise marks the mapped interaction arena MADV_RANDOM when Mmap is
+	// set, so cold footprint-bound queries fault in only the pages they
+	// touch instead of dragging sequential readahead across the arena.
+	// No effect without Mmap, on platforms lacking madvise, or on loads
+	// that fall back to the copying decoder.
+	Madvise bool
 }
 
 // Stats are the store-wide durability counters, surfaced at /stats.
@@ -961,7 +967,7 @@ func (sh *Shard) loadSnapshot(path string) (*tin.Network, error) {
 	if sh.store.cfg.Mmap {
 		// The injected FS has approved the open; map the real file.
 		f.Close()
-		return tin.OpenNetworkMmap(path)
+		return tin.OpenNetworkMmapOptions(path, tin.MmapOptions{AdviseRandom: sh.store.cfg.Madvise})
 	}
 	defer f.Close()
 	return tin.ReadNetworkBinary(f)

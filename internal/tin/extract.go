@@ -1,9 +1,20 @@
 package tin
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
+
+// This file is the query fast path: extraction cost is proportional to the
+// query's footprint, never to the network. Reachability and the §6.2 path
+// DFS run over dense epoch-stamped marks (QueryScratch), pair queries
+// collect their edge set by walking the CSR out-adjacency of the fwd∩bwd
+// frontier instead of scanning the edge table, time windows are applied
+// per edge with a binary search during graph assembly, and the flow graph
+// is built directly into its final memory layout (no intermediate maps, no
+// Finalize sort). Equivalence with the original map-and-scan pipeline is
+// locked in by extract_oracle_test.go and FuzzExtractEquivalence.
 
 // ExtractOptions control seed-based subgraph extraction (Section 6.2 of the
 // paper).
@@ -13,8 +24,15 @@ type ExtractOptions struct {
 	MaxHops int
 	// MaxInteractions discards subgraphs with more interactions than this.
 	// The paper discards subgraphs over 10000 interactions. Zero means no
-	// limit.
+	// limit. The cap counts the full (unwindowed) sequences of the admitted
+	// edges, so a Window never changes which subgraphs are discarded.
 	MaxInteractions int
+	// Window, when non-nil, restricts the extracted graph to interactions
+	// with Time in [Window.From, Window.To] (inclusive), applied per edge
+	// during assembly. The result is identical to extracting without a
+	// window and calling Graph.RestrictWindow, but out-of-window
+	// interactions are never materialized.
+	Window *TimeWindow
 }
 
 // DefaultExtractOptions mirror the paper's setup: paths up to three hops,
@@ -39,7 +57,19 @@ func DefaultExtractOptions() ExtractOptions {
 // ExtractSubgraph returns (nil, false) if the seed has no returning path,
 // or if the subgraph exceeds opts.MaxInteractions interactions.
 func (n *Network) ExtractSubgraph(seed VertexID, opts ExtractOptions) (*Graph, bool) {
-	g, ok, _ := n.ExtractSubgraphFootprint(seed, opts)
+	sc := scratchPool.Get().(*QueryScratch)
+	g, ok, _ := n.extractSubgraph(seed, opts, sc, false)
+	scratchPool.Put(sc)
+	return g, ok
+}
+
+// ExtractSubgraphScratch is ExtractSubgraph reusing the caller's scratch
+// memory; repeated calls make ~0 allocations beyond the returned graph.
+func (n *Network) ExtractSubgraphScratch(seed VertexID, opts ExtractOptions, sc *QueryScratch) (*Graph, bool) {
+	if sc == nil {
+		return n.ExtractSubgraph(seed, opts)
+	}
+	g, ok, _ := n.extractSubgraph(seed, opts, sc, false)
 	return g, ok
 }
 
@@ -55,6 +85,59 @@ func (n *Network) ExtractSubgraph(seed VertexID, opts ExtractOptions) (*Graph, b
 // Appends only ever add interactions, so the footprint is returned for
 // unsuccessful extractions too.
 func (n *Network) ExtractSubgraphFootprint(seed VertexID, opts ExtractOptions) (*Graph, bool, []VertexID) {
+	sc := scratchPool.Get().(*QueryScratch)
+	g, ok, foot := n.extractSubgraph(seed, opts, sc, true)
+	scratchPool.Put(sc)
+	return g, ok, foot
+}
+
+// ExtractSubgraphFootprintScratch is ExtractSubgraphFootprint reusing the
+// caller's scratch memory.
+func (n *Network) ExtractSubgraphFootprintScratch(seed VertexID, opts ExtractOptions, sc *QueryScratch) (*Graph, bool, []VertexID) {
+	if sc == nil {
+		return n.ExtractSubgraphFootprint(seed, opts)
+	}
+	return n.extractSubgraph(seed, opts, sc, true)
+}
+
+// seedDFS enumerates returning paths without per-call closure state; depth
+// counts edges on the current path.
+type seedDFS struct {
+	n                    *Network
+	sc                   *QueryScratch
+	seed                 VertexID
+	maxHops              int
+	iterEpoch, pathEpoch int32
+}
+
+func (d *seedDFS) walk(v VertexID, depth int) {
+	n, sc := d.n, d.sc
+	for _, e := range n.OutEdges(v) {
+		u := n.edges[e].To
+		if u == d.seed {
+			if depth >= 1 { // at least one intermediate vertex
+				sc.pathEdges = append(sc.pathEdges, sc.pathStack...)
+				sc.pathEdges = append(sc.pathEdges, e)
+				sc.pathEnds = append(sc.pathEnds, int32(len(sc.pathEdges)))
+			}
+			continue
+		}
+		if depth+1 >= d.maxHops || sc.markB[u] == d.pathEpoch {
+			continue
+		}
+		if sc.markA[u] != d.iterEpoch {
+			sc.markA[u] = d.iterEpoch
+			sc.vertsA = append(sc.vertsA, u)
+		}
+		sc.markB[u] = d.pathEpoch
+		sc.pathStack = append(sc.pathStack, e)
+		d.walk(u, depth+1)
+		sc.pathStack = sc.pathStack[:len(sc.pathStack)-1]
+		sc.markB[u] = 0
+	}
+}
+
+func (n *Network) extractSubgraph(seed VertexID, opts ExtractOptions, sc *QueryScratch, wantFoot bool) (*Graph, bool, []VertexID) {
 	if !n.finalized {
 		panic("tin: ExtractSubgraph before Finalize")
 	}
@@ -64,49 +147,50 @@ func (n *Network) ExtractSubgraphFootprint(seed VertexID, opts ExtractOptions) (
 	if opts.MaxHops < 2 {
 		panic(fmt.Sprintf("tin: MaxHops must be >= 2, got %d", opts.MaxHops))
 	}
+	sc.begin(n.numV)
 
-	// Collect candidate returning paths as slices of edge ids, in
-	// deterministic DFS order over adjacency lists.
-	var paths [][]EdgeID
-	iterated := map[VertexID]bool{seed: true}
-	var dfs func(v VertexID, depth int, edges []EdgeID, onPath map[VertexID]bool)
-	dfs = func(v VertexID, depth int, edges []EdgeID, onPath map[VertexID]bool) {
-		for _, e := range n.OutEdges(v) {
-			u := n.edges[e].To
-			if u == seed {
-				if depth >= 1 { // at least one intermediate vertex
-					p := make([]EdgeID, len(edges)+1)
-					copy(p, edges)
-					p[len(edges)] = e
-					paths = append(paths, p)
-				}
-				continue
-			}
-			if depth+1 >= opts.MaxHops || onPath[u] {
-				continue
-			}
-			iterated[u] = true
-			onPath[u] = true
-			dfs(u, depth+1, append(edges, e), onPath)
-			delete(onPath, u)
-		}
+	// Collect candidate returning paths as runs of edge ids in the shared
+	// flat buffer, in deterministic DFS order over adjacency lists. markA
+	// holds the iterated set (the footprint), markB the on-path set.
+	d := seedDFS{n: n, sc: sc, seed: seed, maxHops: opts.MaxHops,
+		iterEpoch: sc.nextEpoch(), pathEpoch: sc.nextEpoch()}
+	sc.vertsA = append(sc.vertsA[:0], seed)
+	sc.markA[seed] = d.iterEpoch
+	sc.markB[seed] = d.pathEpoch
+	sc.pathStack = sc.pathStack[:0]
+	sc.pathEdges = sc.pathEdges[:0]
+	sc.pathEnds = sc.pathEnds[:0]
+	d.walk(seed, 0)
+
+	// Materialize the footprint now: the admission pass below re-purposes
+	// the mark arrays.
+	var foot []VertexID
+	if wantFoot {
+		foot = make([]VertexID, len(sc.vertsA))
+		copy(foot, sc.vertsA)
+		slices.Sort(foot)
 	}
-	dfs(seed, 0, nil, map[VertexID]bool{seed: true})
-	foot := sortedVertexSet(iterated)
-	if len(paths) == 0 {
+	if len(sc.pathEnds) == 0 {
 		return nil, false, foot
 	}
 
 	// Admit paths one by one, skipping any path whose inner edges would
-	// close a directed cycle among intermediate vertices.
-	inner := newTinyDigraph()
-	edgeSet := make(map[EdgeID]bool)
-	for _, p := range paths {
+	// close a directed cycle among intermediate vertices. The incremental
+	// digraph lives in markA/valA (list heads) plus the shared adjacency
+	// pool; cycle checks stamp markB.
+	adjEpoch := sc.nextEpoch()
+	sc.innerTo = sc.innerTo[:0]
+	sc.innerNext = sc.innerNext[:0]
+	sc.edgeIDs = sc.edgeIDs[:0]
+	start := int32(0)
+	for _, end := range sc.pathEnds {
+		p := sc.pathEdges[start:end]
+		start = end
 		ok := true
 		// Inner edges of the path are all but the first and last.
 		for i := 1; i < len(p)-1; i++ {
 			e := &n.edges[p[i]]
-			if inner.createsCycle(e.From, e.To) {
+			if sc.innerCreatesCycle(e.From, e.To, adjEpoch) {
 				ok = false
 				break
 			}
@@ -116,37 +200,69 @@ func (n *Network) ExtractSubgraphFootprint(seed VertexID, opts ExtractOptions) (
 		}
 		for i := 1; i < len(p)-1; i++ {
 			e := &n.edges[p[i]]
-			inner.add(e.From, e.To)
+			sc.innerAdd(e.From, e.To, adjEpoch)
 		}
-		for _, id := range p {
-			edgeSet[id] = true
-		}
+		sc.edgeIDs = append(sc.edgeIDs, p...)
 	}
-	if len(edgeSet) == 0 {
+	if len(sc.edgeIDs) == 0 {
 		return nil, false, foot
 	}
 
-	ids := make([]EdgeID, 0, len(edgeSet))
+	slices.Sort(sc.edgeIDs)
+	sc.edgeIDs = slices.Compact(sc.edgeIDs)
 	total := 0
-	for id := range edgeSet {
-		ids = append(ids, id)
+	for _, id := range sc.edgeIDs {
 		total += len(n.edges[id].Seq)
 	}
 	if opts.MaxInteractions > 0 && total > opts.MaxInteractions {
 		return nil, false, foot
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	return n.BuildFlowGraph(ids, seed, seed), true, foot
+	g := n.buildFlowGraph(sc.edgeIDs, seed, seed, opts.Window, sc)
+	if opts.Window != nil {
+		g.DropEmptyEdges()
+	}
+	return g, true, foot
 }
 
-// sortedVertexSet flattens a vertex set into an ascending slice.
-func sortedVertexSet(set map[VertexID]bool) []VertexID {
-	vs := make([]VertexID, 0, len(set))
-	for v := range set {
-		vs = append(vs, v)
+// innerAdd records a→b in the admission digraph.
+func (sc *QueryScratch) innerAdd(a, b VertexID, adjEpoch int32) {
+	head := int32(-1)
+	if sc.markA[a] == adjEpoch {
+		head = sc.valA[a]
 	}
-	sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
-	return vs
+	sc.innerTo = append(sc.innerTo, int32(b))
+	sc.innerNext = append(sc.innerNext, head)
+	sc.markA[a] = adjEpoch
+	sc.valA[a] = int32(len(sc.innerTo) - 1)
+}
+
+// innerCreatesCycle reports whether adding edge a→b to the admission
+// digraph would close a directed cycle, i.e. whether b currently reaches a.
+func (sc *QueryScratch) innerCreatesCycle(a, b VertexID, adjEpoch int32) bool {
+	if a == b {
+		return true
+	}
+	seen := sc.nextEpoch()
+	sc.stack = append(sc.stack[:0], b)
+	sc.markB[b] = seen
+	for len(sc.stack) > 0 {
+		v := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		if v == a {
+			return true
+		}
+		if sc.markA[v] != adjEpoch {
+			continue
+		}
+		for j := sc.valA[v]; j >= 0; j = sc.innerNext[j] {
+			u := VertexID(sc.innerTo[j])
+			if sc.markB[u] != seen {
+				sc.markB[u] = seen
+				sc.stack = append(sc.stack, u)
+			}
+		}
+	}
+	return false
 }
 
 // BuildFlowGraph assembles a flow-computation Graph from a set of network
@@ -157,7 +273,36 @@ func sortedVertexSet(set map[VertexID]bool) []VertexID {
 // breaking is consistent with the full network. The returned graph is
 // finalized.
 func (n *Network) BuildFlowGraph(edgeIDs []EdgeID, source, sink VertexID) *Graph {
-	// Map network vertices to dense local ids: source 0, sink 1, inner 2+.
+	return n.BuildFlowGraphWindow(edgeIDs, source, sink, nil)
+}
+
+// BuildFlowGraphWindow is BuildFlowGraph with an optional time window:
+// interactions outside w are never materialized (per-edge binary search
+// over the canonical sequences). Edges left without in-window interactions
+// stay alive so source/sink degree semantics match the unwindowed build;
+// call DropEmptyEdges to remove them, which yields exactly the graph
+// BuildFlowGraph + RestrictWindow would produce.
+func (n *Network) BuildFlowGraphWindow(edgeIDs []EdgeID, source, sink VertexID, w *TimeWindow) *Graph {
+	sc := scratchPool.Get().(*QueryScratch)
+	defer scratchPool.Put(sc)
+	sc.dup = append(sc.dup[:0], edgeIDs...)
+	slices.Sort(sc.dup)
+	for i := 1; i < len(sc.dup); i++ {
+		if sc.dup[i] == sc.dup[i-1] {
+			// Duplicated ids merge their (repeated) interactions onto one
+			// graph edge; the direct builder assumes distinct ids, so take
+			// the general path.
+			return buildFlowGraphDup(n, edgeIDs, source, sink, w)
+		}
+	}
+	sc.begin(n.numV)
+	return n.buildFlowGraph(edgeIDs, source, sink, w, sc)
+}
+
+// buildFlowGraphDup handles edge-id lists with duplicates via the original
+// lazy builder (kept as refBuildFlowGraph's twin): duplicates never occur
+// on the extraction paths, only in hand-built calls.
+func buildFlowGraphDup(n *Network, edgeIDs []EdgeID, source, sink VertexID, w *TimeWindow) *Graph {
 	local := make(map[VertexID]VertexID)
 	nv := VertexID(2)
 	mapInner := func(v VertexID) VertexID {
@@ -169,19 +314,19 @@ func (n *Network) BuildFlowGraph(edgeIDs []EdgeID, source, sink VertexID) *Graph
 		nv++
 		return id
 	}
-	type iaRef struct {
+	type dupRef struct {
 		ia       Interaction
-		from, to VertexID // local ids
-		edge     EdgeID   // network edge, for grouping
+		from, to VertexID
+		edge     EdgeID
 	}
-	var refs []iaRef
+	var refs []dupRef
 	for _, id := range edgeIDs {
 		e := &n.edges[id]
 		var lf, lt VertexID
 		if e.From == source {
 			lf = 0
 		} else if e.From == sink && source != sink {
-			lf = 1 // edge leaving the sink vertex: keep attached (caller's duty to avoid)
+			lf = 1
 		} else {
 			lf = mapInner(e.From)
 		}
@@ -193,12 +338,10 @@ func (n *Network) BuildFlowGraph(edgeIDs []EdgeID, source, sink VertexID) *Graph
 			lt = mapInner(e.To)
 		}
 		for _, ia := range e.Seq {
-			refs = append(refs, iaRef{ia: ia, from: lf, to: lt, edge: id})
+			refs = append(refs, dupRef{ia: ia, from: lf, to: lt, edge: id})
 		}
 	}
-	// Insert in network canonical order so the graph's tie-break order
-	// matches the network's.
-	sort.Slice(refs, func(a, b int) bool { return refs[a].ia.Ord < refs[b].ia.Ord })
+	slices.SortStableFunc(refs, func(a, b dupRef) int { return cmp.Compare(a.ia.Ord, b.ia.Ord) })
 
 	g := NewGraph(int(nv), 0, 1)
 	edgeOf := make(map[EdgeID]EdgeID, len(edgeIDs))
@@ -211,6 +354,192 @@ func (n *Network) BuildFlowGraph(edgeIDs []EdgeID, source, sink VertexID) *Graph
 		g.AddInteraction(ge, r.ia.Time, r.ia.Qty)
 	}
 	g.Finalize()
+	if w != nil {
+		g.restrictInPlace(w)
+	}
+	return g
+}
+
+// restrictInPlace drops out-of-window interactions and re-ranks the
+// survivors' Ords densely, without deleting empty edges — the windowed-
+// build contract.
+func (g *Graph) restrictInPlace(w *TimeWindow) {
+	type ref struct {
+		e EdgeID
+		i int
+	}
+	var refs []ref
+	for e := range g.Edges {
+		if !g.edgeAlive[e] {
+			continue
+		}
+		seq := g.Edges[e].Seq
+		lo, hi := w.bounds(seq)
+		g.numIA -= len(seq) - (hi - lo)
+		g.Edges[e].Seq = seq[lo:hi]
+		for i := range g.Edges[e].Seq {
+			refs = append(refs, ref{EdgeID(e), i})
+		}
+	}
+	slices.SortFunc(refs, func(a, b ref) int {
+		return cmp.Compare(g.Edges[a.e].Seq[a.i].Ord, g.Edges[b.e].Seq[b.i].Ord)
+	})
+	for ord, r := range refs {
+		g.Edges[r.e].Seq[r.i].Ord = int64(ord)
+	}
+	g.nextOrd = int64(len(refs))
+}
+
+// buildFlowGraph is the direct builder behind every extraction: it
+// assembles the finalized graph straight into its final memory layout.
+// edgeIDs must be distinct; their order fixes local vertex ids
+// (first-occurrence) exactly like the original builder, and graph edge ids
+// follow the earliest-full-interaction order the original lazy creation
+// produced. Interactions are inserted in network canonical order with
+// densely re-ranked Ords — relative order, and therefore every algorithm
+// decision, is unchanged. With a window, out-of-window interactions are
+// skipped via binary search; empty edges stay alive for the caller's
+// degree checks.
+func (n *Network) buildFlowGraph(edgeIDs []EdgeID, source, sink VertexID, w *TimeWindow, sc *QueryScratch) *Graph {
+	k := len(edgeIDs)
+	// Local vertex ids: source 0, sink 1, inner 2+ in first-occurrence
+	// order (From before To, matching the original mapping order).
+	lidEpoch := sc.nextEpoch()
+	sc.elf = growBuf(sc.elf, k)
+	sc.elt = growBuf(sc.elt, k)
+	nv := VertexID(2)
+	mapLocal := func(v VertexID) VertexID {
+		if sc.markA[v] == lidEpoch {
+			return VertexID(sc.valA[v])
+		}
+		id := nv
+		nv++
+		sc.markA[v] = lidEpoch
+		sc.valA[v] = int32(id)
+		return id
+	}
+	for i, id := range edgeIDs {
+		e := &n.edges[id]
+		var lf, lt VertexID
+		if e.From == source {
+			lf = 0
+		} else if e.From == sink && source != sink {
+			lf = 1 // edge leaving the sink vertex: keep attached (caller's duty to avoid)
+		} else {
+			lf = mapLocal(e.From)
+		}
+		if e.To == sink {
+			lt = 1
+		} else if e.To == source && source != sink {
+			lt = 0
+		} else {
+			lt = mapLocal(e.To)
+		}
+		sc.elf[i], sc.elt[i] = lf, lt
+	}
+
+	// Graph edge ids: rank by earliest full-sequence interaction — the
+	// order the lazy builder first encountered each edge in the Ord-sorted
+	// ref stream. Network edges always carry >= 1 interaction.
+	sc.order = growBuf(sc.order, k)
+	for i := range sc.order {
+		sc.order[i] = int32(i)
+	}
+	slices.SortFunc(sc.order, func(a, b int32) int {
+		return cmp.Compare(n.edges[edgeIDs[a]].Seq[0].Ord, n.edges[edgeIDs[b]].Seq[0].Ord)
+	})
+	sc.gid = growBuf(sc.gid, k)
+	for r, i := range sc.order {
+		sc.gid[i] = EdgeID(r)
+	}
+
+	// Per-edge in-window ranges over the canonical (time-sorted) sequences.
+	sc.lo = growBuf(sc.lo, k)
+	sc.hi = growBuf(sc.hi, k)
+	totalIA := 0
+	for i, id := range edgeIDs {
+		lo, hi := w.bounds(n.edges[id].Seq)
+		sc.lo[i], sc.hi[i] = int32(lo), int32(hi)
+		totalIA += hi - lo
+	}
+
+	// The graph's own memory: one block per kind, carved into cap-clamped
+	// sub-slices so post-build mutation appends (AddReducedEdge) reallocate
+	// instead of clobbering a neighbouring run.
+	g := &Graph{
+		NumV: int(nv), Source: 0, Sink: 1,
+		Edges:     make([]Edge, k),
+		liveEdges: k, liveVerts: int(nv),
+		numIA: totalIA, nextOrd: int64(totalIA),
+		finalized: true,
+	}
+	jag := make([][]EdgeID, 2*int(nv))
+	g.out = jag[:nv:nv]
+	g.in = jag[nv:][:nv:nv]
+	bools := make([]bool, int(nv)+k)
+	for i := range bools {
+		bools[i] = true
+	}
+	g.vertAlive = bools[:nv:nv]
+	g.edgeAlive = bools[nv:][:k:k]
+	degs := make([]int, 2*int(nv))
+	g.outDeg = degs[:nv:nv]
+	g.inDeg = degs[nv:][:nv:nv]
+	adj := make([]EdgeID, 2*k)
+	arena := make([]Interaction, totalIA)
+
+	for i := range edgeIDs {
+		g.outDeg[sc.elf[i]]++
+		g.inDeg[sc.elt[i]]++
+	}
+	off := 0
+	for v := 0; v < int(nv); v++ {
+		g.out[v] = adj[off : off : off+g.outDeg[v]]
+		off += g.outDeg[v]
+	}
+	for v := 0; v < int(nv); v++ {
+		g.in[v] = adj[off : off : off+g.inDeg[v]]
+		off += g.inDeg[v]
+	}
+
+	// Edges, adjacency runs and arena offsets in creation order. Appending
+	// graph edge ids in ascending creation order reproduces the original
+	// AddEdge append order per vertex.
+	sc.runOff = growBuf(sc.runOff, k+1)
+	iaOff := int32(0)
+	for r, i := range sc.order {
+		lf, lt := sc.elf[i], sc.elt[i]
+		g.Edges[r] = Edge{From: lf, To: lt, canonical: true}
+		g.out[lf] = append(g.out[lf], EdgeID(r))
+		g.in[lt] = append(g.in[lt], EdgeID(r))
+		sc.runOff[r] = iaOff
+		iaOff += sc.hi[i] - sc.lo[i]
+	}
+	sc.runOff[k] = iaOff
+
+	// Interactions in network canonical order; the dense rank becomes the
+	// graph Ord, exactly what insert-then-Finalize assigned (canonical
+	// network order is (Time, tie) order, Finalize's sort key).
+	sc.refs = sc.refs[:0]
+	for i, id := range edgeIDs {
+		seq := n.edges[id].Seq
+		ge := sc.gid[i]
+		for _, ia := range seq[sc.lo[i]:sc.hi[i]] {
+			sc.refs = append(sc.refs, iaRef{ia: ia, ge: ge})
+		}
+	}
+	slices.SortFunc(sc.refs, func(a, b iaRef) int { return cmp.Compare(a.ia.Ord, b.ia.Ord) })
+	sc.cur = growBuf(sc.cur, k)
+	clear(sc.cur)
+	for rank, r := range sc.refs {
+		pos := sc.runOff[r.ge] + sc.cur[r.ge]
+		sc.cur[r.ge]++
+		arena[pos] = Interaction{Time: r.ia.Time, Qty: r.ia.Qty, Ord: int64(rank)}
+	}
+	for r := 0; r < k; r++ {
+		lo, hi := sc.runOff[r], sc.runOff[r+1]
+		g.Edges[r].Seq = arena[lo:hi:hi]
+	}
 	return g
 }
 
@@ -223,7 +552,22 @@ func (n *Network) BuildFlowGraph(edgeIDs []EdgeID, source, sink VertexID) *Graph
 // Greedy, the LP and the time-expanded engine handle cycles, while the
 // Pre/PreSim pipelines require DAGs.
 func (n *Network) FlowSubgraphBetween(source, sink VertexID) (*Graph, bool) {
-	g, ok, _ := n.FlowSubgraphBetweenFootprint(source, sink)
+	sc := scratchPool.Get().(*QueryScratch)
+	g, ok, _ := n.flowSubgraphBetween(source, sink, nil, sc, false)
+	scratchPool.Put(sc)
+	return g, ok
+}
+
+// FlowSubgraphBetweenScratch is FlowSubgraphBetween reusing the caller's
+// scratch memory, with an optional time window applied during assembly
+// (nil = unbounded). The source/sink viability checks run before the
+// window, matching FlowSubgraphBetween + RestrictWindow semantics.
+func (n *Network) FlowSubgraphBetweenScratch(source, sink VertexID, w *TimeWindow, sc *QueryScratch) (*Graph, bool) {
+	if sc == nil {
+		sc = scratchPool.Get().(*QueryScratch)
+		defer scratchPool.Put(sc)
+	}
+	g, ok, _ := n.flowSubgraphBetween(source, sink, w, sc, false)
 	return g, ok
 }
 
@@ -238,6 +582,23 @@ func (n *Network) FlowSubgraphBetween(source, sink VertexID) (*Graph, bool) {
 // edges whose endpoints sit in both sets. An append touching no footprint
 // vertex therefore leaves the (graph, ok) answer byte-identical.
 func (n *Network) FlowSubgraphBetweenFootprint(source, sink VertexID) (*Graph, bool, []VertexID) {
+	sc := scratchPool.Get().(*QueryScratch)
+	g, ok, foot := n.flowSubgraphBetween(source, sink, nil, sc, true)
+	scratchPool.Put(sc)
+	return g, ok, foot
+}
+
+// FlowSubgraphBetweenFootprintScratch is FlowSubgraphBetweenFootprint
+// reusing the caller's scratch memory, with an optional time window.
+func (n *Network) FlowSubgraphBetweenFootprintScratch(source, sink VertexID, w *TimeWindow, sc *QueryScratch) (*Graph, bool, []VertexID) {
+	if sc == nil {
+		sc = scratchPool.Get().(*QueryScratch)
+		defer scratchPool.Put(sc)
+	}
+	return n.flowSubgraphBetween(source, sink, w, sc, true)
+}
+
+func (n *Network) flowSubgraphBetween(source, sink VertexID, w *TimeWindow, sc *QueryScratch, wantFoot bool) (*Graph, bool, []VertexID) {
 	if !n.finalized {
 		panic("tin: FlowSubgraphBetween before Finalize")
 	}
@@ -247,45 +608,70 @@ func (n *Network) FlowSubgraphBetweenFootprint(source, sink VertexID) (*Graph, b
 	if source == sink {
 		panic("tin: source equals sink; use ExtractSubgraph for returning-path flow")
 	}
+	sc.begin(n.numV)
 	// Reachability is computed on the modified graph in which edges into
 	// the source and out of the sink are already absent — otherwise a
 	// vertex whose only route to the sink passes through the source would
 	// be falsely admitted.
-	fwd := n.reach(source, false, source, sink)
-	bwd := n.reach(sink, true, source, sink)
-	union := make(map[VertexID]bool, len(fwd)+len(bwd))
-	for v := range fwd {
-		union[v] = true
+	fwdEpoch := sc.nextEpoch()
+	sc.vertsA, sc.stack = n.reachInto(source, false, source, sink, sc.markA, fwdEpoch, sc.vertsA, sc.stack)
+	bwdEpoch := sc.nextEpoch()
+	sc.vertsB, sc.stack = n.reachInto(sink, true, source, sink, sc.markB, bwdEpoch, sc.vertsB, sc.stack)
+
+	var foot []VertexID
+	if wantFoot {
+		foot = make([]VertexID, 0, len(sc.vertsA)+len(sc.vertsB))
+		foot = append(foot, sc.vertsA...)
+		for _, v := range sc.vertsB {
+			if sc.markA[v] != fwdEpoch {
+				foot = append(foot, v)
+			}
+		}
+		slices.Sort(foot)
 	}
-	for v := range bwd {
-		union[v] = true
-	}
-	foot := sortedVertexSet(union)
-	var ids []EdgeID
-	for e := range n.edges {
-		ed := &n.edges[e]
-		if ed.From == sink || ed.To == source {
+
+	// Frontier-driven edge collection: walk the out-adjacency of the
+	// fwd∩bwd vertices only. Every admitted edge departs from an
+	// intersection vertex, so the edge table is never scanned.
+	sc.edgeIDs = sc.edgeIDs[:0]
+	for _, v := range sc.vertsA {
+		if sc.markB[v] != bwdEpoch || v == sink {
 			continue
 		}
-		if fwd[ed.From] && bwd[ed.From] && fwd[ed.To] && bwd[ed.To] {
-			ids = append(ids, EdgeID(e))
+		for _, e := range n.OutEdges(v) {
+			u := n.edges[e].To
+			if u == source {
+				continue
+			}
+			if sc.markA[u] == fwdEpoch && sc.markB[u] == bwdEpoch {
+				sc.edgeIDs = append(sc.edgeIDs, e)
+			}
 		}
 	}
-	if len(ids) == 0 {
+	if len(sc.edgeIDs) == 0 {
 		return nil, false, foot
 	}
-	g := n.BuildFlowGraph(ids, source, sink)
+	// Adjacency walks emit edges grouped by From vertex in discovery
+	// order; sort so the id order matches the original edge-table scan.
+	slices.Sort(sc.edgeIDs)
+	g := n.buildFlowGraph(sc.edgeIDs, source, sink, w, sc)
 	if g.InDegree(g.Source) != 0 || g.OutDegree(g.Sink) != 0 || g.OutDegree(g.Source) == 0 {
 		return nil, false, foot
+	}
+	if w != nil {
+		g.DropEmptyEdges()
 	}
 	return g, true, foot
 }
 
-// reach returns the set of vertices reachable from v (backward: reaching
-// v), ignoring edges into source and edges out of sink.
-func (n *Network) reach(v VertexID, backward bool, source, sink VertexID) map[VertexID]bool {
-	seen := map[VertexID]bool{v: true}
-	stack := []VertexID{v}
+// reachInto marks every vertex reachable from v (backward: reaching v)
+// with epoch in marks and collects them into list, ignoring edges into
+// source and edges out of sink. It returns the (possibly re-allocated)
+// list and stack buffers.
+func (n *Network) reachInto(v VertexID, backward bool, source, sink VertexID, marks []int32, epoch int32, list, stack []VertexID) ([]VertexID, []VertexID) {
+	list = append(list[:0], v)
+	stack = append(stack[:0], v)
+	marks[v] = epoch
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -304,54 +690,12 @@ func (n *Network) reach(v VertexID, backward bool, source, sink VertexID) map[Ve
 			if backward {
 				u = ed.From
 			}
-			if !seen[u] {
-				seen[u] = true
+			if marks[u] != epoch {
+				marks[u] = epoch
+				list = append(list, u)
 				stack = append(stack, u)
 			}
 		}
 	}
-	return seen
-}
-
-// tinyDigraph is a small adjacency-set digraph used for incremental cycle
-// checks during subgraph extraction.
-type tinyDigraph struct {
-	succ map[VertexID]map[VertexID]bool
-}
-
-func newTinyDigraph() *tinyDigraph {
-	return &tinyDigraph{succ: make(map[VertexID]map[VertexID]bool)}
-}
-
-func (d *tinyDigraph) add(a, b VertexID) {
-	s := d.succ[a]
-	if s == nil {
-		s = make(map[VertexID]bool)
-		d.succ[a] = s
-	}
-	s[b] = true
-}
-
-// createsCycle reports whether adding edge a→b would close a directed cycle,
-// i.e. whether b currently reaches a.
-func (d *tinyDigraph) createsCycle(a, b VertexID) bool {
-	if a == b {
-		return true
-	}
-	seen := map[VertexID]bool{b: true}
-	stack := []VertexID{b}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if v == a {
-			return true
-		}
-		for u := range d.succ[v] {
-			if !seen[u] {
-				seen[u] = true
-				stack = append(stack, u)
-			}
-		}
-	}
-	return false
+	return list, stack
 }

@@ -1,0 +1,358 @@
+package tin
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// Differential coverage for the O(footprint) query path: every extraction
+// (seed and pair, with and without a time window, with fresh or reused
+// scratch) must be byte-identical to the preserved map-and-scan reference
+// pipeline (extract_oracle_test.go), with windows checked against the
+// Graph.RestrictWindow oracle. The fuzz target additionally drives random
+// append interleavings first, so the fast path is exercised on every
+// internal array state appends can produce.
+
+// graphSig renders a graph for byte-comparison; nil graphs included.
+func graphSig(g *Graph) string {
+	if g == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%sV=%d E=%d IA=%d dag=%v", g.String(),
+		g.NumLiveVertices(), g.NumLiveEdges(), g.NumInteractions(), g.IsDAG())
+}
+
+// checkGraphInvariants verifies the structural invariants the direct
+// builder must establish: dense canonical Ords, time-sorted sequences,
+// degree counters consistent with adjacency.
+func checkGraphInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	if g == nil {
+		return
+	}
+	seen := make(map[int64]bool)
+	lastTime := math.Inf(-1)
+	for _, ev := range g.Events() {
+		if ev.Time < lastTime {
+			t.Fatalf("events not time-sorted in Ord order")
+		}
+		lastTime = ev.Time
+		if ev.Ord < 0 || ev.Ord >= g.OrdBound() || seen[ev.Ord] {
+			t.Fatalf("Ord %d out of dense range [0,%d) or duplicated", ev.Ord, g.OrdBound())
+		}
+		seen[ev.Ord] = true
+	}
+	if len(seen) != g.NumInteractions() {
+		t.Fatalf("%d events, %d live interactions", len(seen), g.NumInteractions())
+	}
+	for v := 0; v < g.NumV; v++ {
+		out, in := 0, 0
+		g.OutEdges(VertexID(v), func(e EdgeID) {
+			out++
+			if g.Edges[e].From != VertexID(v) {
+				t.Fatalf("edge %d in out-list of %d but From=%d", e, v, g.Edges[e].From)
+			}
+		})
+		g.InEdges(VertexID(v), func(e EdgeID) { in++ })
+		if out != g.OutDegree(VertexID(v)) || in != g.InDegree(VertexID(v)) {
+			t.Fatalf("vertex %d: adjacency (%d out, %d in) vs degrees (%d, %d)",
+				v, out, in, g.OutDegree(VertexID(v)), g.InDegree(VertexID(v)))
+		}
+	}
+}
+
+// oracleWindowed applies the clone-the-world oracle: reference extraction
+// followed by Graph.RestrictWindow.
+func oracleWindowed(g *Graph, ok bool, w *TimeWindow) (*Graph, bool) {
+	if !ok || w == nil {
+		return g, ok
+	}
+	return g.RestrictWindow(w.From, w.To), ok
+}
+
+// checkExtractEquivalence compares every seed and pair extraction on n
+// against the reference pipeline, over a spread of windows.
+func checkExtractEquivalence(t *testing.T, n *Network) {
+	t.Helper()
+	maxT := n.MaxTime()
+	if math.IsInf(maxT, -1) {
+		maxT = 0
+	}
+	windows := []*TimeWindow{
+		nil,
+		{From: math.Inf(-1), To: math.Inf(1)},
+		{From: 0, To: maxT / 2},
+		{From: maxT / 4, To: 3 * maxT / 4},
+		{From: maxT / 2, To: maxT / 2},
+		{From: maxT + 1, To: maxT + 2},
+	}
+	sc := NewQueryScratch()
+	opts := DefaultExtractOptions()
+	for v := 0; v < n.NumVertices(); v++ {
+		seed := VertexID(v)
+		refG, refOK, refFoot := refExtractSubgraphFootprint(n, seed, opts)
+		for _, w := range windows {
+			wantG, wantOK := oracleWindowed(refG, refOK, w)
+			wOpts := opts
+			wOpts.Window = w
+			g, ok, foot := n.ExtractSubgraphFootprintScratch(seed, wOpts, sc)
+			if ok != wantOK || graphSig(g) != graphSig(wantG) {
+				t.Fatalf("seed %d window %+v: fast path diverged\n got (%v): %s\nwant (%v): %s",
+					v, w, ok, graphSig(g), wantOK, graphSig(wantG))
+			}
+			if !slices.Equal(foot, refFoot) {
+				t.Fatalf("seed %d: footprint %v, want %v", v, foot, refFoot)
+			}
+			checkGraphInvariants(t, g)
+			// The pooled no-scratch wrapper must agree with the scratch path.
+			g2, ok2, foot2 := n.ExtractSubgraphFootprint(seed, wOpts)
+			if ok2 != ok || graphSig(g2) != graphSig(g) || !slices.Equal(foot2, foot) {
+				t.Fatalf("seed %d window %+v: pooled wrapper diverged from scratch path", v, w)
+			}
+		}
+	}
+	for src := 0; src < n.NumVertices(); src++ {
+		for snk := 0; snk < n.NumVertices(); snk++ {
+			if src == snk {
+				continue
+			}
+			s, k := VertexID(src), VertexID(snk)
+			refG, refOK, refFoot := refFlowSubgraphBetweenFootprint(n, s, k)
+			for _, w := range windows {
+				wantG, wantOK := oracleWindowed(refG, refOK, w)
+				g, ok, foot := n.FlowSubgraphBetweenFootprintScratch(s, k, w, sc)
+				if ok != wantOK || graphSig(g) != graphSig(wantG) {
+					t.Fatalf("pair %d->%d window %+v: fast path diverged\n got (%v): %s\nwant (%v): %s",
+						src, snk, w, ok, graphSig(g), wantOK, graphSig(wantG))
+				}
+				if !slices.Equal(foot, refFoot) {
+					t.Fatalf("pair %d->%d: footprint %v, want %v", src, snk, foot, refFoot)
+				}
+				checkGraphInvariants(t, g)
+			}
+			// Unwindowed public wrappers.
+			g2, ok2, foot2 := n.FlowSubgraphBetweenFootprint(s, k)
+			if ok2 != refOK || graphSig(g2) != graphSig(refG) || !slices.Equal(foot2, refFoot) {
+				t.Fatalf("pair %d->%d: pooled wrapper diverged from reference", src, snk)
+			}
+		}
+	}
+}
+
+// TestExtractEquivalenceRandom drives the differential check over random
+// networks built with random append interleavings: a finalized base, then
+// a mix of in-order batches, unordered batches and reindexes.
+func TestExtractEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		numV := 4 + rng.Intn(6)
+		n := NewNetwork(numV)
+		tm := 0.0
+		randItem := func() BatchItem {
+			tm += rng.Float64()
+			return BatchItem{
+				From: VertexID(rng.Intn(numV)), To: VertexID(rng.Intn(numV)),
+				Time: tm, Qty: float64(rng.Intn(9)) + 0.5,
+			}
+		}
+		for i, k := 0, rng.Intn(30); i < k; i++ {
+			it := randItem()
+			n.AddInteraction(it.From, it.To, it.Time, it.Qty)
+		}
+		n.Finalize()
+		for step, steps := 0, rng.Intn(5); step < steps; step++ {
+			batch := make([]BatchItem, 1+rng.Intn(6))
+			for i := range batch {
+				batch[i] = randItem()
+			}
+			if rng.Intn(3) == 0 {
+				// Late items force the Reindex path.
+				for i := range batch {
+					batch[i].Time = rng.Float64() * tm
+				}
+				if _, err := n.AppendUnordered(batch); err != nil {
+					t.Fatal(err)
+				}
+				n.Reindex()
+			} else if _, err := n.AppendBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkExtractEquivalence(t, n)
+	}
+}
+
+// TestBuildFlowGraphWindowEquivalence pins the public windowed builder
+// against BuildFlowGraph + RestrictWindow, including duplicate edge-id
+// lists (which take the legacy path) and empty-edge retention.
+func TestBuildFlowGraphWindowEquivalence(t *testing.T) {
+	n := NewNetwork(5)
+	n.AddInteraction(0, 1, 1, 2)
+	n.AddInteraction(1, 2, 3, 1)
+	n.AddInteraction(1, 2, 7, 4)
+	n.AddInteraction(2, 4, 5, 2)
+	n.AddInteraction(0, 3, 9, 1)
+	n.AddInteraction(3, 4, 9, 3)
+	n.Finalize()
+	ids := func(pairs ...[2]VertexID) []EdgeID {
+		var out []EdgeID
+		for _, p := range pairs {
+			e, ok := n.HasEdge(p[0], p[1])
+			if !ok {
+				t.Fatalf("edge %v missing", p)
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+	lists := [][]EdgeID{
+		ids([2]VertexID{0, 1}, [2]VertexID{1, 2}, [2]VertexID{2, 4}),
+		ids([2]VertexID{0, 3}, [2]VertexID{3, 4}, [2]VertexID{0, 1}),
+		ids([2]VertexID{0, 1}, [2]VertexID{1, 2}, [2]VertexID{0, 1}), // duplicate id
+	}
+	windows := []*TimeWindow{nil, {From: 2, To: 8}, {From: 0, To: 0}}
+	for li, list := range lists {
+		want := n.BuildFlowGraph(list, 0, 4)
+		for _, w := range windows {
+			g := n.BuildFlowGraphWindow(list, 0, 4, w)
+			wantW := want
+			if w != nil {
+				wantW = want.RestrictWindow(w.From, w.To)
+			}
+			// The windowed builder keeps empty edges; drop them to compare
+			// against the RestrictWindow oracle.
+			g.DropEmptyEdges()
+			if graphSig(g) != graphSig(wantW) {
+				t.Fatalf("list %d window %+v:\n got %s\nwant %s", li, w, graphSig(g), graphSig(wantW))
+			}
+		}
+	}
+}
+
+// decodeEquivFuzzInput splits fuzz bytes into a base network and a series
+// of append operations over an 8-vertex space. Each 4-byte record is
+// (from, to, time, qty); the leading byte steers chunking and windowing.
+func decodeEquivFuzzInput(data []byte) (numV int, base []BatchItem, appends [][]BatchItem, unordered []bool, w *TimeWindow) {
+	const numVertices = 8
+	if len(data) == 0 {
+		return numVertices, nil, nil, nil, nil
+	}
+	ctl := data[0]
+	data = data[1:]
+	var items []BatchItem
+	for len(data) >= 4 {
+		rec := data[:4]
+		data = data[4:]
+		it := BatchItem{
+			From: VertexID(rec[0] % numVertices),
+			To:   VertexID(rec[1] % numVertices),
+			Time: float64(rec[2]),
+			Qty:  float64(rec[3]%32) + 0.5,
+		}
+		if it.From == it.To {
+			continue
+		}
+		items = append(items, it)
+	}
+	if ctl&1 != 0 {
+		lo := float64(ctl >> 3)
+		w = &TimeWindow{From: lo, To: lo + float64(ctl>>1&0x7f)}
+	}
+	split := len(items)
+	if n := len(items); n > 0 {
+		split = int(ctl>>2) % (n + 1)
+	}
+	base = items[:split]
+	rest := items[split:]
+	chunk := 1 + int(ctl>>5)
+	for len(rest) > 0 {
+		k := chunk
+		if k > len(rest) {
+			k = len(rest)
+		}
+		appends = append(appends, rest[:k])
+		unordered = append(unordered, (len(appends)+int(ctl>>6))%2 == 0)
+		rest = rest[k:]
+	}
+	return numVertices, base, appends, unordered, w
+}
+
+// FuzzExtractEquivalence fuzzes the frontier-driven extraction fast path
+// against the scan-based reference, with and without windows, on networks
+// grown through random append interleavings (in-order batches via
+// AppendBatch, out-of-order ones via AppendUnordered + Reindex).
+func FuzzExtractEquivalence(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{0x55, 0, 1, 10, 3, 1, 2, 20, 4, 2, 0, 30, 5})
+	f.Add([]byte{0xff, 0, 1, 5, 1, 1, 0, 5, 1, 0, 1, 5, 2, 1, 2, 4, 9})
+	f.Add([]byte{0x03, 2, 3, 9, 1, 3, 2, 9, 1, 2, 3, 9, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		numV, base, appends, unordered, w := decodeEquivFuzzInput(data)
+		n := NewNetwork(numV)
+		for _, it := range base {
+			n.AddInteraction(it.From, it.To, it.Time, it.Qty)
+		}
+		n.Finalize()
+		for i, batch := range appends {
+			if unordered[i] {
+				if _, err := n.AppendUnordered(batch); err != nil {
+					t.Fatalf("AppendUnordered: %v", err)
+				}
+				n.Reindex()
+				continue
+			}
+			// In-order appends must not precede MaxTime; shift the chunk up.
+			shift := n.MaxTime()
+			if math.IsInf(shift, -1) {
+				shift = 0
+			}
+			ordered := make([]BatchItem, len(batch))
+			copy(ordered, batch)
+			slices.SortStableFunc(ordered, func(a, b BatchItem) int {
+				if a.Time < b.Time {
+					return -1
+				} else if a.Time > b.Time {
+					return 1
+				}
+				return 0
+			})
+			for j := range ordered {
+				ordered[j].Time += shift
+			}
+			if _, err := n.AppendBatch(ordered); err != nil {
+				t.Fatalf("AppendBatch: %v", err)
+			}
+		}
+
+		sc := NewQueryScratch()
+		opts := DefaultExtractOptions()
+		wOpts := opts
+		wOpts.Window = w
+		for v := 0; v < numV; v++ {
+			seed := VertexID(v)
+			refG, refOK, refFoot := refExtractSubgraphFootprint(n, seed, opts)
+			wantG, wantOK := oracleWindowed(refG, refOK, w)
+			g, ok, foot := n.ExtractSubgraphFootprintScratch(seed, wOpts, sc)
+			if ok != wantOK || graphSig(g) != graphSig(wantG) || !slices.Equal(foot, refFoot) {
+				t.Fatalf("seed %d window %+v diverged:\n got (%v): %s\nwant (%v): %s",
+					v, w, ok, graphSig(g), wantOK, graphSig(wantG))
+			}
+			// Pair queries from this vertex to every other.
+			for u := 0; u < numV; u++ {
+				if u == v {
+					continue
+				}
+				refG, refOK, refFoot := refFlowSubgraphBetweenFootprint(n, seed, VertexID(u))
+				wantG, wantOK := oracleWindowed(refG, refOK, w)
+				g, ok, foot := n.FlowSubgraphBetweenFootprintScratch(seed, VertexID(u), w, sc)
+				if ok != wantOK || graphSig(g) != graphSig(wantG) || !slices.Equal(foot, refFoot) {
+					t.Fatalf("pair %d->%d window %+v diverged:\n got (%v): %s\nwant (%v): %s",
+						v, u, w, ok, graphSig(g), wantOK, graphSig(wantG))
+				}
+			}
+		}
+	})
+}

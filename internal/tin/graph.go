@@ -298,6 +298,20 @@ func (g *Graph) DeleteEdge(e EdgeID) {
 	g.liveEdges--
 }
 
+// DropEmptyEdges deletes every live edge whose interaction sequence is
+// empty. It is the companion of the windowed builders (BuildFlowGraphWindow
+// and the Window extraction option), which keep emptied edges alive for
+// source/sink degree checks; dropping them afterwards yields exactly the
+// graph RestrictWindow's edge deletions would have produced. Vertices are
+// never deleted.
+func (g *Graph) DropEmptyEdges() {
+	for id := range g.Edges {
+		if g.edgeAlive[id] && len(g.Edges[id].Seq) == 0 {
+			g.DeleteEdge(EdgeID(id))
+		}
+	}
+}
+
 // DeleteVertex marks vertex v as deleted together with all its live
 // incident edges. It does not cascade to neighbouring vertices.
 func (g *Graph) DeleteVertex(v VertexID) {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"testing"
 )
@@ -202,19 +203,60 @@ func FuzzLayoutEquivalence(f *testing.F) {
 		}
 		checkAgainstRef(t, mm, ref)
 
-		// Extraction must be bit-identical across all three copies.
+		// Extraction must be bit-identical across all three copies — and,
+		// windowed or not, identical to the scan-based map-backed oracle
+		// (the pre-refactor implementation), pinning the frontier-driven
+		// collector on every layout the network can be served from.
+		win := &TimeWindow{From: 64, To: 192}
 		for v := 0; v < numV; v++ {
-			ga, oka := n.ExtractSubgraph(VertexID(v), DefaultExtractOptions())
-			gb, okb := dec.ExtractSubgraph(VertexID(v), DefaultExtractOptions())
-			gc, okc := mm.ExtractSubgraph(VertexID(v), DefaultExtractOptions())
-			if oka != okb || oka != okc {
-				t.Fatalf("seed %d: extraction ok %v / %v / %v", v, oka, okb, okc)
+			opts := DefaultExtractOptions()
+			rg, rok, _ := refExtractSubgraphFootprint(n, VertexID(v), opts)
+			ga, oka := n.ExtractSubgraph(VertexID(v), opts)
+			gb, okb := dec.ExtractSubgraph(VertexID(v), opts)
+			gc, okc := mm.ExtractSubgraph(VertexID(v), opts)
+			if oka != okb || oka != okc || oka != rok {
+				t.Fatalf("seed %d: extraction ok %v / %v / %v (ref %v)", v, oka, okb, okc, rok)
 			}
 			if !oka {
 				continue
 			}
-			if sa, sb, sc := ga.String(), gb.String(), gc.String(); sa != sb || sa != sc {
-				t.Fatalf("seed %d: extracted subgraphs differ:\n%s\nvs\n%s\nvs\n%s", v, sa, sb, sc)
+			sr := graphSig(rg)
+			if sa, sb, sc := graphSig(ga), graphSig(gb), graphSig(gc); sa != sb || sa != sc || sa != sr {
+				t.Fatalf("seed %d: extracted subgraphs differ:\n%s\nvs\n%s\nvs\n%s\nref\n%s", v, sa, sb, sc, sr)
+			}
+			// In-extraction window vs the RestrictWindow oracle, per copy.
+			wopts := opts
+			wopts.Window = win
+			wg, wok := oracleWindowed(rg, rok, win)
+			for ci, cn := range []*Network{n, dec, mm} {
+				g, ok := cn.ExtractSubgraph(VertexID(v), wopts)
+				if ok != wok {
+					t.Fatalf("seed %d copy %d: windowed ok %v, oracle %v", v, ci, ok, wok)
+				}
+				if ok && graphSig(g) != graphSig(wg) {
+					t.Fatalf("seed %d copy %d: windowed subgraph differs:\n%s\nvs oracle\n%s",
+						v, ci, graphSig(g), graphSig(wg))
+				}
+			}
+		}
+		for src := 0; src < numV; src++ {
+			for snk := 0; snk < numV; snk++ {
+				if src == snk {
+					continue
+				}
+				s0, k0 := VertexID(src), VertexID(snk)
+				rg, rok, rfoot := refFlowSubgraphBetweenFootprint(n, s0, k0)
+				wg, wok := oracleWindowed(rg, rok, win)
+				for ci, cn := range []*Network{n, dec, mm} {
+					g, ok, foot := cn.FlowSubgraphBetweenFootprint(s0, k0)
+					if ok != rok || graphSig(g) != graphSig(rg) || !slices.Equal(foot, rfoot) {
+						t.Fatalf("pair %d->%d copy %d: frontier extraction diverged from scan oracle", src, snk, ci)
+					}
+					g, ok, _ = cn.FlowSubgraphBetweenFootprintScratch(s0, k0, win, nil)
+					if ok != wok || (ok && graphSig(g) != graphSig(wg)) {
+						t.Fatalf("pair %d->%d copy %d: windowed pair extraction diverged from oracle", src, snk, ci)
+					}
+				}
 			}
 		}
 		mm.Unmap()

@@ -1,0 +1,10 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package tin
+
+const madviseSupported = false
+
+// adviseRandom is a no-op where syscall.Madvise does not exist (windows,
+// plan9, wasm, solaris/aix). MmapOptions.AdviseRandom silently degrades to
+// plain mmap behaviour there.
+func adviseRandom([]byte, int64, int64) error { return nil }

@@ -74,17 +74,37 @@ var interactionLayoutOK = unsafe.Sizeof(Interaction{}) == binaryRecordSize &&
 	unsafe.Offsetof(Interaction{}.Qty) == 8 &&
 	unsafe.Offsetof(Interaction{}.Ord) == 16
 
+// MmapOptions tunes how a zero-copy network mapping is set up.
+type MmapOptions struct {
+	// AdviseRandom issues MADV_RANDOM on the interaction arena at map
+	// time. Query extraction touches the arena footprint-at-a-time —
+	// scattered short runs, one per in-footprint edge — so the kernel's
+	// default sequential readahead drags in pages the query never reads.
+	// With the advice, a cold pair query on a network much larger than
+	// RAM faults in only (roughly) its footprint's pages. The smaller
+	// edge-table/offset/adjacency sections are left on default advice:
+	// they are dense, touched on every query, and profit from readahead.
+	// Ignored (silently) on platforms without madvise and on files that
+	// fall back to the copying loader.
+	AdviseRandom bool
+}
+
 // OpenNetworkMmap loads a network file, serving it zero-copy from an mmap
 // when possible. Files that cannot be mmap'd — gzip'd, text, version-1
 // binary, or any file on a platform or host where zero-copy is unavailable
 // — load through the regular copying path instead, so callers can use this
 // unconditionally; MmapBacked on the result tells which path was taken.
 func OpenNetworkMmap(path string) (*Network, error) {
+	return OpenNetworkMmapOptions(path, MmapOptions{})
+}
+
+// OpenNetworkMmapOptions is OpenNetworkMmap with explicit mapping options.
+func OpenNetworkMmapOptions(path string, opts MmapOptions) (*Network, error) {
 	if mmapSupported && hostLE && interactionLayoutOK && !strings.HasSuffix(path, ".gz") {
 		region, err := platformMmap(path)
 		if err == nil {
 			if isV2Image(region.data) {
-				n, err := mmapNetwork(region)
+				n, err := mmapNetwork(region, opts)
 				if err != nil {
 					region.close()
 					return nil, err
@@ -120,7 +140,7 @@ func leU64(b []byte) uint64 {
 // monotonicity, id ranges — matching the trust model of a snapshot the
 // store wrote itself; the O(numIA) canonical-order proof is the copying
 // reader's job for untrusted input.
-func mmapNetwork(region *mmapRegion) (*Network, error) {
+func mmapNetwork(region *mmapRegion, opts MmapOptions) (*Network, error) {
 	data := region.data
 	numV := int64(leU64(data[8:16]))
 	numE := int64(leU64(data[16:24]))
@@ -178,6 +198,12 @@ func mmapNetwork(region *mmapRegion) (*Network, error) {
 		if outOff[v+1] < outOff[v] || inOff[v+1] < inOff[v] {
 			return nil, fmt.Errorf("tin: mmap: adjacency offsets not monotone at vertex %d", v)
 		}
+	}
+
+	if opts.AdviseRandom && madviseSupported {
+		// Best-effort: a kernel that rejects the advice still serves the
+		// mapping correctly, just with default readahead.
+		_ = adviseRandom(data, l.arena, numIA*binaryRecordSize)
 	}
 
 	n := &Network{

@@ -42,6 +42,30 @@ func TestMmapRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMmapAdviseRandom: AdviseRandom is pure advice — a mapping opened
+// with it must serve the identical network, on every platform (including
+// those where the advice is a stub).
+func TestMmapAdviseRandom(t *testing.T) {
+	n := ioTestNetwork()
+	path := saveTinb(t, n)
+	m, err := OpenNetworkMmapOptions(path, MmapOptions{AdviseRandom: true})
+	if err != nil {
+		t.Fatalf("OpenNetworkMmapOptions: %v", err)
+	}
+	defer m.Unmap()
+	if got, want := m.MmapBacked(), mmapExpected(); got != want {
+		t.Fatalf("MmapBacked() = %v, want %v", got, want)
+	}
+	sameNetwork(t, n, m)
+	// Advising a degenerate range must be a no-op, not a crash.
+	if err := adviseRandom(nil, 0, 0); err != nil {
+		t.Fatalf("adviseRandom on empty range: %v", err)
+	}
+	if err := adviseRandom(make([]byte, 8), 16, 4); err != nil {
+		t.Fatalf("adviseRandom past the mapping: %v", err)
+	}
+}
+
 // TestMmapSurvivesUnlink: the mapping must outlive the file name — snapshot
 // rotation unlinks old snapshots while readers may still hold them.
 func TestMmapSurvivesUnlink(t *testing.T) {
